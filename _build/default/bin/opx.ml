@@ -1,0 +1,264 @@
+(* opx: command-line driver for the Omni-Paxos reproduction experiments.
+
+   Subcommands mirror the paper's evaluation:
+     opx table1                           partial-connectivity matrix
+     opx normal    [--wan] [--servers 5]  regular-execution throughput
+     opx partition --scenario quorum-loss down-time under partial partitions
+     opx chained                          chained-scenario decided counts
+     opx reconfig  [--majority]           reconfiguration comparison *)
+
+open Cmdliner
+module E = Rsm.Experiments
+
+let pf = Printf.printf
+
+(* ---------------- table1 ---------------- *)
+
+let table1_cmd =
+  let run seeds partition_s =
+    let rows =
+      E.table1 ~seeds:(List.init seeds (fun i -> i + 1))
+        ~partition_ms:(float_of_int partition_s *. 1000.0) ()
+    in
+    pf "%-14s %-12s %-12s %-8s\n" "protocol" "quorum-loss" "constrained"
+      "chained";
+    List.iter
+      (fun (r : E.table1_row) ->
+        let m b = if b then "yes" else "NO" in
+        pf "%-14s %-12s %-12s %-8s\n" r.t1_protocol (m r.t1_quorum_loss)
+          (m r.t1_constrained) (m r.t1_chained))
+      rows
+  in
+  let seeds =
+    Arg.(value & opt int 2 & info [ "seeds" ] ~doc:"Number of seeded runs.")
+  in
+  let partition_s =
+    Arg.(
+      value & opt int 30
+      & info [ "partition-s" ] ~doc:"Partition duration in seconds.")
+  in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Reproduce Table 1 (stable-progress matrix)")
+    Term.(const run $ seeds $ partition_s)
+
+(* ---------------- normal ---------------- *)
+
+let normal_cmd =
+  let run wan servers cp duration_s seeds =
+    let rows =
+      E.normal_execution
+        ~seeds:(List.init seeds (fun i -> i + 1))
+        ~duration_ms:(float_of_int duration_s *. 1000.0)
+        ~cps:[ cp ] ~cluster_sizes:[ servers ] ~settings:[ wan ] ()
+    in
+    pf "%-4s %-3s %-7s %-14s %12s %10s\n" "set" "n" "CP" "protocol"
+      "tput(req/s)" "+/-CI";
+    List.iter
+      (fun (r : E.throughput_point) ->
+        pf "%-4s %-3d %-7d %-14s %12.0f %10.0f\n" r.tp_setting r.tp_n r.tp_cp
+          r.tp_protocol r.tp_mean r.tp_ci)
+      rows
+  in
+  let wan = Arg.(value & flag & info [ "wan" ] ~doc:"WAN latencies.") in
+  let servers =
+    Arg.(value & opt int 3 & info [ "servers" ] ~doc:"Cluster size.")
+  in
+  let cp =
+    Arg.(
+      value & opt int 5000
+      & info [ "cp" ] ~doc:"Concurrent proposals kept outstanding.")
+  in
+  let duration_s =
+    Arg.(
+      value & opt int 4
+      & info [ "duration-s" ] ~doc:"Measured duration in seconds.")
+  in
+  let seeds =
+    Arg.(value & opt int 3 & info [ "seeds" ] ~doc:"Number of seeded runs.")
+  in
+  Cmd.v
+    (Cmd.info "normal" ~doc:"Regular execution throughput (Figure 7)")
+    Term.(const run $ wan $ servers $ cp $ duration_s $ seeds)
+
+(* ---------------- partition ---------------- *)
+
+let scenario_conv =
+  Arg.enum
+    [ ("quorum-loss", E.Quorum_loss); ("constrained", E.Constrained) ]
+
+let partition_cmd =
+  let run kind timeout_ms partition_s seeds =
+    let rows =
+      E.partition_downtime
+        ~seeds:(List.init seeds (fun i -> i + 1))
+        ~timeouts_ms:[ float_of_int timeout_ms ]
+        ~partition_ms:(float_of_int partition_s *. 1000.0)
+        ~kind ()
+    in
+    pf "%-11s %-14s %14s %10s %10s\n" "timeout(ms)" "protocol" "downtime(ms)"
+      "+/-CI" "ldr-chg";
+    List.iter
+      (fun (r : E.downtime_point) ->
+        pf "%-11.0f %-14s %14s %10.0f %10.1f\n" r.dt_timeout_ms r.dt_protocol
+          (if r.dt_deadlocked then "DEADLOCK"
+           else Printf.sprintf "%.0f" r.dt_downtime_ms)
+          r.dt_ci r.dt_leader_changes)
+      rows
+  in
+  let kind =
+    Arg.(
+      value
+      & opt scenario_conv E.Quorum_loss
+      & info [ "scenario" ] ~doc:"quorum-loss or constrained.")
+  in
+  let timeout_ms =
+    Arg.(
+      value & opt int 50 & info [ "timeout-ms" ] ~doc:"Election timeout (ms).")
+  in
+  let partition_s =
+    Arg.(
+      value & opt int 60
+      & info [ "partition-s" ] ~doc:"Partition duration in seconds.")
+  in
+  let seeds =
+    Arg.(value & opt int 3 & info [ "seeds" ] ~doc:"Number of seeded runs.")
+  in
+  Cmd.v
+    (Cmd.info "partition"
+       ~doc:"Down-time under partial partitions (Figures 8a/8b)")
+    Term.(const run $ kind $ timeout_ms $ partition_s $ seeds)
+
+(* ---------------- chained ---------------- *)
+
+let chained_cmd =
+  let run duration_s seeds =
+    let rows =
+      E.chained_throughput
+        ~seeds:(List.init seeds (fun i -> i + 1))
+        ~durations_ms:[ float_of_int duration_s *. 1000.0 ]
+        ()
+    in
+    pf "%-13s %-14s %14s %10s %10s\n" "duration(s)" "protocol" "decided"
+      "+/-CI" "ldr-chg";
+    List.iter
+      (fun (r : E.chained_point) ->
+        pf "%-13.0f %-14s %14.0f %10.0f %10.1f\n"
+          (r.ch_duration_ms /. 1000.0)
+          r.ch_protocol r.ch_decided r.ch_ci r.ch_leader_changes)
+      rows
+  in
+  let duration_s =
+    Arg.(
+      value & opt int 60
+      & info [ "duration-s" ] ~doc:"Partition duration in seconds.")
+  in
+  let seeds =
+    Arg.(value & opt int 2 & info [ "seeds" ] ~doc:"Number of seeded runs.")
+  in
+  Cmd.v
+    (Cmd.info "chained" ~doc:"Chained-scenario decided requests (Figure 8c)")
+    Term.(const run $ duration_s $ seeds)
+
+(* ---------------- reconfig ---------------- *)
+
+let reconfig_cmd =
+  let run majority cp preload total_s =
+    let params, omni, raft =
+      E.reconfiguration ~preload ~cp ~replace_majority:majority
+        ~total_ms:(float_of_int total_s *. 1000.0)
+        ()
+    in
+    let show name (r : Rsm.Reconfig.result) =
+      pf "\n%s:\n" name;
+      (match r.migration_done_at with
+      | Some t ->
+          pf "  reconfiguration period: %.1fs\n"
+            ((t -. params.reconfigure_at) /. 1000.0)
+      | None -> pf "  reconfiguration did not complete\n");
+      pf "  decided: %d  leader changes: %d\n" r.decided r.leader_changes;
+      pf "  throughput per 5s window (req/s):\n   ";
+      List.iter
+        (fun (t, d) -> pf " %.0fs:%d" (t /. 1000.0) (d / 5))
+        (Rsm.Metrics.Series.windowed r.series ~from:0.0 ~until:params.total_ms
+           ~window:5000.0);
+      pf "\n"
+    in
+    show "Omni-Paxos" omni;
+    show "Raft" raft
+  in
+  let majority =
+    Arg.(
+      value & flag
+      & info [ "majority" ] ~doc:"Replace a majority (3 of 5) of servers.")
+  in
+  let cp =
+    Arg.(value & opt int 500 & info [ "cp" ] ~doc:"Concurrent proposals.")
+  in
+  let preload =
+    Arg.(
+      value & opt int 2_000_000
+      & info [ "preload" ] ~doc:"Entries in the initial log.")
+  in
+  let total_s =
+    Arg.(
+      value & opt int 120 & info [ "total-s" ] ~doc:"Run length in seconds.")
+  in
+  Cmd.v
+    (Cmd.info "reconfig" ~doc:"Reconfiguration comparison (Figure 9)")
+    Term.(const run $ majority $ cp $ preload $ total_s)
+
+(* ---------------- mcheck ---------------- *)
+
+let mcheck_cmd =
+  let run competing drops proposals max_states =
+    let leader_events =
+      if competing then [ (0, (1, 0)); (1, (2, 1)) ] else [ (0, (1, 0)) ]
+    in
+    let proposals = List.init proposals (fun i -> (i mod 2, 11 * (i + 1))) in
+    let r =
+      Mcheck.Explore.run
+        { leader_events; proposals; allow_drops = drops; max_states }
+    in
+    pf "states explored: %d%s\n" r.states
+      (if r.truncated then " (truncated at the state bound)" else " (exhaustive)");
+    match r.violation with
+    | Some v ->
+        pf "VIOLATION: %s\n" v;
+        exit 1
+    | None -> pf "no SC1-SC3 violation in any reachable state\n"
+  in
+  let competing =
+    Arg.(
+      value & flag
+      & info [ "competing-leaders" ]
+          ~doc:"Two competing leader events instead of one.")
+  in
+  let drops = Arg.(value & flag & info [ "drops" ] ~doc:"Allow message drops.") in
+  let proposals =
+    Arg.(value & opt int 2 & info [ "proposals" ] ~doc:"Number of proposals.")
+  in
+  let max_states =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "max-states" ] ~doc:"State-count bound.")
+  in
+  Cmd.v
+    (Cmd.info "mcheck"
+       ~doc:
+         "Bounded model checking of the Sequence Paxos specification \
+          (SC1-SC3 in every reachable state)")
+    Term.(const run $ competing $ drops $ proposals $ max_states)
+
+let () =
+  let doc = "Omni-Paxos reproduction experiments" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "opx" ~doc)
+          [
+            table1_cmd;
+            normal_cmd;
+            partition_cmd;
+            chained_cmd;
+            reconfig_cmd;
+            mcheck_cmd;
+          ]))

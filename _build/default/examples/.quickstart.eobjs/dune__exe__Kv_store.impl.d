@@ -1,0 +1,1 @@
+examples/kv_store.ml: Array Format Fun List Omnipaxos Option Replog Simnet

@@ -1,0 +1,1 @@
+examples/partial_connectivity.ml: Format Option Printf Rsm Simnet

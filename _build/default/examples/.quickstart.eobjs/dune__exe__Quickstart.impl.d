@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Fun List Omnipaxos Option Printf Replog Simnet

@@ -1,0 +1,1 @@
+examples/reconfiguration.ml: Format List Printf Rsm

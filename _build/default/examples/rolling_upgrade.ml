@@ -1,0 +1,41 @@
+(* Software upgrade through reconfiguration (§6.1): because each
+   configuration runs isolated BLE + Sequence Paxos instances, reconfiguring
+   to the *same* set of servers swaps in fresh protocol instances ("new
+   version") behind the stop-sign, without any log migration — the paper's
+   answer to version-compatibility problems in Raft systems.
+
+   Run with: dune exec examples/rolling_upgrade.exe *)
+
+let () =
+  let params =
+    {
+      Rsm.Reconfig.net_cfg =
+        { Rsm.Cluster.default_config with n = 5; election_timeout_ms = 50.0 };
+      old_nodes = [ 0; 1; 2; 3; 4 ];
+      new_nodes = [ 0; 1; 2; 3; 4 ] (* same servers: a pure upgrade *);
+      preload = 0;
+      cp = 500;
+      reconfigure_at = 3_000.0;
+      total_ms = 10_000.0;
+      segment_entries = 10_000;
+      faults = [];
+    }
+  in
+  Format.printf
+    "Upgrading a 5-server cluster in place: configuration c0 is stopped@.\
+     with a stop-sign and every server immediately starts its c1 instances@.\
+     (no log migration needed - everyone already has the log).@.";
+  let r = Rsm.Reconfig.Omni.run params in
+  (match (r.reconfig_committed_at, r.migration_done_at) with
+  | Some stop, Some up ->
+      Format.printf
+        "@.stop-sign decided at %.2fs; every server running the new version \
+         at %.2fs@.switch-over gap: %.0f ms@."
+        (stop /. 1000.0) (up /. 1000.0) (up -. stop)
+  | _ -> Format.printf "@.upgrade did not complete@.");
+  Format.printf "throughput per 1s window (req/s):@. ";
+  List.iter
+    (fun (t, d) -> Format.printf " %.0fs:%d" (t /. 1000.0) d)
+    (Rsm.Metrics.Series.windowed r.series ~from:0.0 ~until:params.total_ms
+       ~window:1000.0);
+  Format.printf "@.decided in total: %d@." r.decided

@@ -1,0 +1,1 @@
+lib/mcheck/spec.ml: Fun List Option

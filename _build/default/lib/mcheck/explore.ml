@@ -1,0 +1,170 @@
+(** Bounded explicit-state model checking of the {!Spec} specification.
+
+    From an initial state and a set of pending external events (leader
+    events and client proposals that may fire at any time, once each), the
+    explorer enumerates every reachable state under all message
+    interleavings — optionally with message drops — and checks the Sequence
+    Consensus properties in each state:
+
+    - SC1 (validity): every log entry is a proposed command;
+    - SC2 (uniform agreement): decided prefixes are pairwise compatible;
+    - SC3 (integrity): along every edge, each server's decided prefix is
+      only ever extended. *)
+
+type config = {
+  leader_events : (int * Spec.ballot) list;
+  proposals : (int * int) list;  (** (node to propose at, command) *)
+  allow_drops : bool;
+  max_states : int;
+}
+
+type result = {
+  states : int;
+  truncated : bool;  (** hit [max_states] before exhausting the space *)
+  violation : string option;  (** description of the first violation found *)
+}
+
+(* A search node: the protocol state plus which external events are still
+   pending. Kept canonical (sorted pending lists) for deduplication. *)
+type snode = {
+  spec : Spec.state;
+  pending_leaders : (int * Spec.ballot) list;
+  pending_proposals : (int * int) list;
+}
+
+let decided_prefix (n : Spec.node) = Spec.take n.Spec.dec n.Spec.log
+
+let rec is_prefix a b =
+  match (a, b) with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: xs, y :: ys -> x = y && is_prefix xs ys
+
+let check_sc1 ~commands (st : Spec.state) =
+  List.for_all
+    (fun (n : Spec.node) ->
+      List.for_all (fun e -> List.mem e commands) n.Spec.log)
+    st.Spec.nodes
+
+let check_sc2 (st : Spec.state) =
+  let prefixes = List.map decided_prefix st.Spec.nodes in
+  List.for_all
+    (fun a -> List.for_all (fun b -> is_prefix a b || is_prefix b a) prefixes)
+    prefixes
+
+(* SC3 along an edge: every node's old decided prefix is a prefix of its new
+   one. *)
+let check_sc3_edge (before : Spec.state) (after : Spec.state) =
+  List.for_all2
+    (fun b a -> is_prefix (decided_prefix b) (decided_prefix a))
+    before.Spec.nodes after.Spec.nodes
+
+(* All successor states of a search node. *)
+let successors cfg sn =
+  let deliveries =
+    List.filter_map
+      (fun ((src, dst), q) ->
+        match q with
+        | [] -> None
+        | m :: rest ->
+            let spec =
+              Spec.handle
+                {
+                  sn.spec with
+                  Spec.queues =
+                    List.map
+                      (fun (k, q') ->
+                        if k = (src, dst) then (k, rest) else (k, q'))
+                      sn.spec.Spec.queues;
+                }
+                ~dst ~src m
+            in
+            Some { sn with spec })
+      sn.spec.Spec.queues
+  in
+  let drops =
+    if not cfg.allow_drops then []
+    else
+      List.filter_map
+        (fun ((src, dst), q) ->
+          match q with
+          | [] -> None
+          | _ :: rest ->
+              Some
+                {
+                  sn with
+                  spec =
+                    {
+                      sn.spec with
+                      Spec.queues =
+                        List.map
+                          (fun (k, q') ->
+                            if k = (src, dst) then (k, rest) else (k, q'))
+                          sn.spec.Spec.queues;
+                    };
+                })
+        sn.spec.Spec.queues
+  in
+  let leaders =
+    List.map
+      (fun (i, b) ->
+        {
+          sn with
+          spec = Spec.leader_event sn.spec i b;
+          pending_leaders = List.filter (fun e -> e <> (i, b)) sn.pending_leaders;
+        })
+      sn.pending_leaders
+  in
+  let proposals =
+    List.map
+      (fun (i, c) ->
+        {
+          sn with
+          spec = Spec.propose sn.spec i c;
+          pending_proposals =
+            List.filter (fun e -> e <> (i, c)) sn.pending_proposals;
+        })
+      sn.pending_proposals
+  in
+  deliveries @ drops @ leaders @ proposals
+
+let run cfg =
+  let commands = List.map snd cfg.proposals in
+  let visited : (snode, unit) Hashtbl.t = Hashtbl.create 65536 in
+  let initial =
+    {
+      spec = Spec.init_state;
+      pending_leaders = List.sort compare cfg.leader_events;
+      pending_proposals = List.sort compare cfg.proposals;
+    }
+  in
+  let stack = Stack.create () in
+  Stack.push initial stack;
+  Hashtbl.replace visited initial ();
+  let states = ref 0 in
+  let violation = ref None in
+  let truncated = ref false in
+  while (not (Stack.is_empty stack)) && !violation = None do
+    let sn = Stack.pop stack in
+    incr states;
+    if not (check_sc1 ~commands sn.spec) then
+      violation := Some "SC1: a log contains an unproposed command"
+    else if not (check_sc2 sn.spec) then
+      violation := Some "SC2: decided prefixes diverged"
+    else
+      List.iter
+        (fun succ ->
+          if !violation = None then
+            if not (check_sc3_edge sn.spec succ.spec) then
+              violation := Some "SC3: a decided prefix was retracted"
+            else if not (Hashtbl.mem visited succ) then begin
+              if Hashtbl.length visited >= cfg.max_states then
+                truncated := true
+              else begin
+                Hashtbl.replace visited succ ();
+                Stack.push succ stack
+              end
+            end)
+        (successors cfg sn)
+  done;
+  { states = !states; truncated = !truncated; violation = !violation }

@@ -1,0 +1,309 @@
+(** A pure, executable specification of Sequence Paxos — the OCaml analog
+    of the paper's PlusCal/TLA+ model. States are immutable and canonical,
+    so the bounded explorer in {!Explore} can enumerate every reachable
+    state of small instances and check the Sequence Consensus properties in
+    each one.
+
+    Commands are plain integers; ballots are [(n, pid)] pairs. The message
+    set and handlers mirror Figure 3b of the paper (and the production
+    implementation in [Omnipaxos.Sequence_paxos]), minus the engineering
+    layers (batched accepts, pipelining counters, session resets). *)
+
+type ballot = int * int (* n, pid *)
+
+let bottom : ballot = (0, -1)
+
+type entry = int
+
+type msg =
+  | Prepare of { n : ballot; acc_rnd : ballot; log_len : int; dec : int }
+  | Promise of {
+      n : ballot;
+      acc_rnd : ballot;
+      log_len : int;
+      dec : int;
+      suffix_from : int;
+      suffix : entry list;
+    }
+  | Accept_sync of { n : ballot; sync_idx : int; suffix : entry list; dec : int }
+  | Accept of { n : ballot; start_idx : int; entry : entry; dec : int }
+  | Accepted of { n : ballot; log_len : int }
+  | Decide of { n : ballot; dec : int }
+
+type role =
+  | Follower
+  | Prep of (int * (ballot * int * int * int * entry list)) list
+      (** received promises: src -> (acc_rnd, log_len, dec, suffix_from, suffix) *)
+  | Lead of (int * int) list  (** accepted length per promised follower *)
+
+type node = {
+  id : int;
+  log : entry list;
+  prom : ballot;
+  acc : ballot;
+  dec : int;
+  role : role;
+}
+
+(* Queues in a fixed (src, dst) order so states are canonical. *)
+type state = { nodes : node list; queues : ((int * int) * msg list) list }
+
+let n_nodes = 3
+let quorum = 2
+
+let init_node id =
+  { id; log = []; prom = bottom; acc = bottom; dec = 0; role = Follower }
+
+let init_state =
+  let pairs =
+    List.concat_map
+      (fun s ->
+        List.filter_map
+          (fun d -> if s = d then None else Some ((s, d), []))
+          (List.init n_nodes Fun.id))
+      (List.init n_nodes Fun.id)
+  in
+  { nodes = List.init n_nodes init_node; queues = pairs }
+
+let node st i = List.nth st.nodes i
+
+let update_node st i f =
+  { st with nodes = List.mapi (fun j n -> if j = i then f n else n) st.nodes }
+
+let send st ~src ~dst m =
+  {
+    st with
+    queues =
+      List.map
+        (fun (k, q) -> if k = (src, dst) then (k, q @ [ m ]) else (k, q))
+        st.queues;
+  }
+
+let take n l = List.filteri (fun i _ -> i < n) l
+let drop n l = List.filteri (fun i _ -> i >= n) l
+let suffix_from i l = drop i l
+let ballot_gt (a : ballot) b = compare a b > 0
+let ballot_ge (a : ballot) b = compare a b >= 0
+
+(* ---------------- transitions ---------------- *)
+
+(* External leader event: node [i] becomes the leader of ballot [b]. *)
+let leader_event st i (b : ballot) =
+  let me = node st i in
+  if snd b = i && ballot_gt b me.prom then begin
+    let st = update_node st i (fun n -> { n with prom = b; role = Prep [] }) in
+    let me = node st i in
+    let prepare =
+      Prepare
+        { n = b; acc_rnd = me.acc; log_len = List.length me.log; dec = me.dec }
+    in
+    List.fold_left
+      (fun st dst -> if dst = i then st else send st ~src:i ~dst prepare)
+      st
+      (List.init n_nodes Fun.id)
+  end
+  else st
+
+let on_prepare st ~dst ~src ~n ~acc_rnd ~log_len ~dec =
+  let me = node st dst in
+  if ballot_ge n me.prom then begin
+    let suffix_from_idx, suffix =
+      if ballot_gt me.acc acc_rnd then (dec, suffix_from dec me.log)
+      else if me.acc = acc_rnd && List.length me.log > log_len then
+        (log_len, suffix_from log_len me.log)
+      else (List.length me.log, [])
+    in
+    let st =
+      update_node st dst (fun nd -> { nd with prom = n; role = Follower })
+    in
+    let me = node st dst in
+    send st ~src:dst ~dst:src
+      (Promise
+         {
+           n;
+           acc_rnd = me.acc;
+           log_len = List.length me.log;
+           dec = me.dec;
+           suffix_from = suffix_from_idx;
+           suffix;
+         })
+  end
+  else st
+
+let sync_and_lead st leader promises =
+  let me = node st leader in
+  let n = me.prom in
+  (* Adopt the most updated log among the promises and self (P2c). *)
+  let best =
+    List.fold_left
+      (fun (b_acc, b_len, b_src) (src, (acc_rnd, log_len, _, _, _)) ->
+        if compare (acc_rnd, log_len) (b_acc, b_len) > 0 then
+          (acc_rnd, log_len, Some src)
+        else (b_acc, b_len, b_src))
+      (me.acc, List.length me.log, None)
+      promises
+  in
+  let _, _, best_src = best in
+  let max_acc, _, _ = best in
+  let st =
+    match best_src with
+    | None -> st
+    | Some src ->
+        let _, _, _, sfx_from, sfx =
+          List.assoc src promises
+        in
+        update_node st leader (fun nd ->
+            { nd with log = take sfx_from nd.log @ sfx })
+  in
+  let max_dec =
+    List.fold_left
+      (fun acc (_, (_, _, dec, _, _)) -> max acc dec)
+      (node st leader).dec promises
+  in
+  let st =
+    update_node st leader (fun nd ->
+        { nd with acc = n; dec = min max_dec (List.length nd.log) })
+  in
+  let me = node st leader in
+  (* Synchronise every promised follower. *)
+  let st =
+    List.fold_left
+      (fun st (src, (acc_rnd, log_len, f_dec, _, _)) ->
+        let sync_idx = if acc_rnd = max_acc then log_len else f_dec in
+        send st ~src:leader ~dst:src
+          (Accept_sync
+             { n; sync_idx; suffix = suffix_from sync_idx me.log; dec = me.dec }))
+      st promises
+  in
+  update_node st leader (fun nd ->
+      {
+        nd with
+        role =
+          Lead
+            (List.map
+               (fun (src, (acc_rnd, log_len, f_dec, _, _)) ->
+                 (src, if acc_rnd = max_acc then log_len else f_dec))
+               promises);
+      })
+
+let on_promise st ~dst ~src ~n ~info =
+  let me = node st dst in
+  if me.prom <> n then st
+  else
+    match me.role with
+    | Prep promises ->
+        let promises = (src, info) :: List.remove_assoc src promises in
+        if List.length promises + 1 >= quorum then sync_and_lead st dst promises
+        else update_node st dst (fun nd -> { nd with role = Prep promises })
+    | Lead acc_idx ->
+        (* Late promise: synchronise the straggler. *)
+        let acc_rnd, log_len, f_dec, _, _ = info in
+        let sync_idx = if acc_rnd = me.acc then log_len else f_dec in
+        let sync_idx = min sync_idx (List.length me.log) in
+        let st =
+          send st ~src:dst ~dst:src
+            (Accept_sync
+               {
+                 n;
+                 sync_idx;
+                 suffix = suffix_from sync_idx me.log;
+                 dec = me.dec;
+               })
+        in
+        update_node st dst (fun nd ->
+            { nd with role = Lead ((src, sync_idx) :: List.remove_assoc src acc_idx) })
+    | Follower -> st
+
+let on_accept_sync st ~dst ~src ~n ~sync_idx ~suffix ~dec =
+  let me = node st dst in
+  if me.prom = n && sync_idx <= List.length me.log then begin
+    let st =
+      update_node st dst (fun nd ->
+          let log = take sync_idx nd.log @ suffix in
+          { nd with acc = n; log; dec = max nd.dec (min dec (List.length log)) })
+    in
+    let me = node st dst in
+    send st ~src:dst ~dst:src (Accepted { n; log_len = List.length me.log })
+  end
+  else st
+
+let on_accept st ~dst ~src ~n ~start_idx ~entry ~dec =
+  let me = node st dst in
+  if me.prom = n && me.acc = n && me.role = Follower then
+    if start_idx > List.length me.log then st (* gap: ignore *)
+    else if start_idx < List.length me.log then st (* duplicate: ignore *)
+    else begin
+      let st =
+        update_node st dst (fun nd ->
+            let log = nd.log @ [ entry ] in
+            { nd with log; dec = max nd.dec (min dec (List.length log)) })
+      in
+      let me = node st dst in
+      send st ~src:dst ~dst:src (Accepted { n; log_len = List.length me.log })
+    end
+  else st
+
+let try_decide st leader =
+  let me = node st leader in
+  match me.role with
+  | Lead acc_idx when List.length acc_idx + 1 >= quorum ->
+      let values = List.length me.log :: List.map snd acc_idx in
+      let sorted = List.sort (fun a b -> compare b a) values in
+      let decidable = List.nth sorted (quorum - 1) in
+      if decidable > me.dec then begin
+        let st = update_node st leader (fun nd -> { nd with dec = decidable }) in
+        List.fold_left
+          (fun st (src, _) ->
+            send st ~src:leader ~dst:src
+              (Decide { n = me.prom; dec = decidable }))
+          st acc_idx
+      end
+      else st
+  | Lead _ | Prep _ | Follower -> st
+
+let on_accepted st ~dst ~src ~n ~log_len =
+  let me = node st dst in
+  if me.prom = n then
+    match me.role with
+    | Lead acc_idx ->
+        let prev = Option.value (List.assoc_opt src acc_idx) ~default:0 in
+        let acc_idx = (src, max prev log_len) :: List.remove_assoc src acc_idx in
+        let st = update_node st dst (fun nd -> { nd with role = Lead acc_idx }) in
+        try_decide st dst
+    | Prep _ | Follower -> st
+  else st
+
+let on_decide st ~dst ~n ~dec =
+  let me = node st dst in
+  if me.prom = n && me.acc = n then
+    update_node st dst (fun nd ->
+        { nd with dec = max nd.dec (min dec (List.length nd.log)) })
+  else st
+
+let handle st ~dst ~src msg =
+  match msg with
+  | Prepare { n; acc_rnd; log_len; dec } ->
+      on_prepare st ~dst ~src ~n ~acc_rnd ~log_len ~dec
+  | Promise { n; acc_rnd; log_len; dec; suffix_from; suffix } ->
+      on_promise st ~dst ~src ~n ~info:(acc_rnd, log_len, dec, suffix_from, suffix)
+  | Accept_sync { n; sync_idx; suffix; dec } ->
+      on_accept_sync st ~dst ~src ~n ~sync_idx ~suffix ~dec
+  | Accept { n; start_idx; entry; dec } ->
+      on_accept st ~dst ~src ~n ~start_idx ~entry ~dec
+  | Accepted { n; log_len } -> on_accepted st ~dst ~src ~n ~log_len
+  | Decide { n; dec } -> on_decide st ~dst ~n ~dec
+
+(* Client proposal at node [i]: appended and replicated if it leads. *)
+let propose st i entry =
+  let me = node st i in
+  match me.role with
+  | Lead acc_idx ->
+      let start_idx = List.length me.log in
+      let st = update_node st i (fun nd -> { nd with log = nd.log @ [ entry ] }) in
+      let me = node st i in
+      List.fold_left
+        (fun st (dst, _) ->
+          send st ~src:i ~dst
+            (Accept { n = me.prom; start_idx; entry; dec = me.dec }))
+        st acc_idx
+  | Prep _ | Follower -> st

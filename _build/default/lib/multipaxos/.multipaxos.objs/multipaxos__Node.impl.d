@@ -1,0 +1,1 @@
+lib/multipaxos/node.ml: Hashtbl Int List Option Random Replog

@@ -1,0 +1,1 @@
+lib/multipaxos/node.mli: Random Replog

@@ -1,0 +1,71 @@
+(** Multi-Paxos baseline (in the style of "Paxos made moderately complex"
+    [37] / frankenpaxos, which the paper benchmarks against).
+
+    Entries are decided in independent slots; the client-visible log is the
+    contiguous prefix of decided slots. Leadership is implicit: a server
+    whose failure detector suspects the current *active* leader bumps its
+    ballot above everything seen and runs Phase 1 (a scout); on a majority
+    of promises it becomes active and replicates with Phase 2, filling slot
+    gaps with internal no-ops.
+
+    The failure-detector semantics reproduce the behaviours analysed in §2
+    of the paper:
+    - the FD monitors node-liveness of the last *active* leader, so in the
+      quorum-loss scenario the hub keeps hearing the stale leader's
+      heartbeats and never takes over (deadlock);
+    - a preempted proposer learns the preemptor's identity, monitors it, and
+      retries with a higher ballot when it appears dead — the gossip loop
+      behind the chained-scenario livelock;
+    - candidacy requires no log or EQC precondition, so the constrained
+      election scenario recovers. *)
+
+type ballot = { n : int; pid : int }
+
+type msg =
+  | Heartbeat  (** node-liveness heartbeat (not ballot-stamped) *)
+  | P1a of { b : ballot; from_slot : int }
+  | P1b of {
+      b : ballot;
+      accepted : (int * ballot * Replog.Command.t) list;
+          (** accepted slots at or above the scout's [from_slot] *)
+    }
+  | P2a of {
+      b : ballot;
+      start_slot : int;
+      cmds : Replog.Command.t list;  (** empty = leader activity signal *)
+    }
+  | P2b of { b : ballot; start_slot : int; count : int }
+  | Preempted of { b : ballot }
+  | Decided_watermark of { b : ballot; upto : int }
+      (** learners promote matching accepted slots to decided *)
+  | Decision of { start_slot : int; cmds : Replog.Command.t list }
+  | Decision_req of { from : int }
+
+type state = Passive | Scouting | Active
+
+type t
+
+val create :
+  id:int ->
+  peers:int list ->
+  election_ticks:int ->
+  rand:Random.State.t ->
+  send:(dst:int -> msg -> unit) ->
+  ?on_decide:(int -> unit) ->
+  unit ->
+  t
+
+val handle : t -> src:int -> msg -> unit
+val tick : t -> unit
+val session_reset : t -> peer:int -> unit
+val propose : t -> Replog.Command.t -> bool
+val state : t -> state
+val is_leader : t -> bool
+val leader_pid : t -> int option
+val current_ballot : t -> ballot
+val decided_log : t -> Replog.Command.t Replog.Log.t
+(** The contiguous decided prefix (includes internal no-op gap fillers,
+    which have negative ids). *)
+
+val decided_length : t -> int
+val msg_size : msg -> int

@@ -1,0 +1,1 @@
+lib/omnipaxos/ballot.mli: Format

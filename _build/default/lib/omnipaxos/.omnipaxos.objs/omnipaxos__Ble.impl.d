@@ -1,0 +1,1 @@
+lib/omnipaxos/ble.ml: Ballot Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/omnipaxos/ble.mli: Ballot

@@ -1,0 +1,1 @@
+lib/omnipaxos/entry.ml: Format List Replog String

@@ -1,0 +1,1 @@
+lib/omnipaxos/replica.ml: Ble Entry Sequence_paxos

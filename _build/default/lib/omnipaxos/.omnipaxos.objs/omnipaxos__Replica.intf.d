@@ -1,0 +1,1 @@
+lib/omnipaxos/replica.mli: Ballot Ble Entry Replog Sequence_paxos

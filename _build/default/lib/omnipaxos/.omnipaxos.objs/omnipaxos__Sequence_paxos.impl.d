@@ -1,0 +1,1 @@
+lib/omnipaxos/sequence_paxos.ml: Ballot Entry Hashtbl Int List Option Queue Replog String

@@ -1,0 +1,1 @@
+lib/omnipaxos/sequence_paxos.mli: Ballot Entry Replog

@@ -1,0 +1,105 @@
+type msg =
+  | Hb_request of { round : int }
+  | Hb_reply of { round : int; ballot : Ballot.t; qc : bool }
+
+type persistent = { mutable ballot_n : int }
+
+let fresh_persistent () = { ballot_n = 1 }
+
+type t = {
+  id : int;
+  peers : int list;
+  quorum : int;
+  qc_signal : bool;
+  connectivity_priority : bool;
+  persistent : persistent;
+  send : dst:int -> msg -> unit;
+  on_leader : Ballot.t -> unit;
+  mutable ballot : Ballot.t;
+  mutable leader : Ballot.t option;
+  mutable qc : bool;
+  mutable round : int;
+  replies : (int, Ballot.t * bool) Hashtbl.t;
+}
+
+let create ~id ~peers ?(priority = 0) ?(qc_signal = true)
+    ?(connectivity_priority = false) ~persistent ~send ~on_leader () =
+  let n_total = List.length peers + 1 in
+  {
+    id;
+    peers;
+    quorum = (n_total / 2) + 1;
+    qc_signal;
+    connectivity_priority;
+    persistent;
+    send;
+    on_leader;
+    ballot = { Ballot.n = persistent.ballot_n; priority; pid = id };
+    leader = None;
+    qc = false;
+    round = 0;
+    replies = Hashtbl.create 8;
+  }
+
+let current_ballot t = t.ballot
+let leader t = t.leader
+let is_quorum_connected t = t.qc
+
+let leader_ballot t = Option.value t.leader ~default:Ballot.bottom
+
+(* The checkLeader step of Figure 4, run when a heartbeat round closes. *)
+let check_round t =
+  let reply_list = Hashtbl.fold (fun _ hb acc -> hb :: acc) t.replies [] in
+  let connected = List.length reply_list + 1 in
+  if connected >= t.quorum then begin
+    t.qc <- true;
+    (* Candidates are the QC servers heard from this round, plus self.
+       Without the QC signal (ablation) every alive server is a candidate. *)
+    let candidates =
+      t.ballot
+      :: List.filter_map
+           (fun (b, qc) -> if qc || not t.qc_signal then Some b else None)
+           reply_list
+    in
+    let max_candidate = List.fold_left Ballot.max Ballot.bottom candidates in
+    let led = leader_ballot t in
+    if Ballot.(max_candidate > led) then begin
+      t.leader <- Some max_candidate;
+      t.on_leader max_candidate
+    end
+    else if Ballot.(max_candidate < led) then begin
+      (* The elected leader is dead or no longer quorum-connected: take over
+         by bumping our ballot above every ballot seen (including the stale
+         leader's), so we outrank it in the coming rounds. With the
+         connectivity optimisation of §8, the priority field carries how
+         many peers we currently hear, so the best-connected of the
+         simultaneous candidates wins the tie at the same round number. *)
+      let max_seen =
+        List.fold_left (fun acc (b, _) -> Ballot.max acc b) led reply_list
+      in
+      t.ballot <- Ballot.bump_above t.ballot max_seen;
+      if t.connectivity_priority then
+        t.ballot <- { t.ballot with Ballot.priority = connected };
+      t.persistent.ballot_n <- t.ballot.Ballot.n
+    end
+  end
+  else t.qc <- false
+
+let tick t =
+  (* The first round only propagates QC flags: electing before peers have
+     reported their status would make every server elect itself. *)
+  if t.round >= 2 then check_round t
+  else if Hashtbl.length t.replies + 1 >= t.quorum then t.qc <- true;
+  Hashtbl.reset t.replies;
+  t.round <- t.round + 1;
+  let request = Hb_request { round = t.round } in
+  List.iter (fun peer -> t.send ~dst:peer request) t.peers
+
+let handle t ~src msg =
+  match msg with
+  | Hb_request { round } ->
+      t.send ~dst:src (Hb_reply { round; ballot = t.ballot; qc = t.qc })
+  | Hb_reply { round; ballot; qc } ->
+      if round = t.round then Hashtbl.replace t.replies src (ballot, qc)
+
+let msg_size = function Hb_request _ -> 12 | Hb_reply _ -> 29

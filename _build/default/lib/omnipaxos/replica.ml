@@ -1,0 +1,81 @@
+type msg = Ble_msg of Ble.msg | Sp_msg of Sequence_paxos.msg
+
+module Storage = struct
+  type t = { ble : Ble.persistent; sp : Sequence_paxos.persistent }
+
+  let create () =
+    { ble = Ble.fresh_persistent (); sp = Sequence_paxos.fresh_persistent () }
+end
+
+type t = {
+  ble : Ble.t;
+  sp : Sequence_paxos.t;
+  hb_ticks : int;
+  mutable tick_count : int;
+}
+
+let create ~id ~peers ?priority ?qc_signal ?connectivity_priority
+    ?(hb_ticks = 10) ~storage ~send ?on_decide ?snapshotter ?on_snapshot () =
+  let sp_ref = ref None in
+  let ble =
+    Ble.create ~id ~peers ?priority ?qc_signal ?connectivity_priority
+      ~persistent:storage.Storage.ble
+      ~send:(fun ~dst m -> send ~dst (Ble_msg m))
+      ~on_leader:(fun b ->
+        match !sp_ref with
+        | Some sp -> Sequence_paxos.handle_leader sp b
+        | None -> ())
+      ()
+  in
+  let sp =
+    Sequence_paxos.create ~id ~peers ~persistent:storage.Storage.sp
+      ~send:(fun ~dst m -> send ~dst (Sp_msg m))
+      ?on_decide ?snapshotter ?on_snapshot ()
+  in
+  sp_ref := Some sp;
+  { ble; sp; hb_ticks; tick_count = 0 }
+
+let handle t ~src msg =
+  match msg with
+  | Ble_msg m -> Ble.handle t.ble ~src m
+  | Sp_msg m -> Sequence_paxos.handle t.sp ~src m
+
+let tick t =
+  t.tick_count <- t.tick_count + 1;
+  if t.tick_count mod t.hb_ticks = 0 then begin
+    Ble.tick t.ble;
+    (* Re-deliver the current leader event: a leader whose Prepare phase was
+       started before a partition keeps its round; followers re-learn it
+       through BLE only when the ballot changes, so this is a no-op unless
+       the ballot advanced. *)
+    match Ble.leader t.ble with
+    | Some b -> Sequence_paxos.handle_leader t.sp b
+    | None -> ()
+  end;
+  Sequence_paxos.flush t.sp
+
+let session_reset t ~peer = Sequence_paxos.session_reset t.sp ~peer
+let recover t = Sequence_paxos.recover t.sp
+let propose t entry = Sequence_paxos.propose t.sp entry
+let propose_cmd t cmd = propose t (Entry.Cmd cmd)
+
+let propose_reconfigure t ~config_id ~nodes =
+  propose t (Entry.Stop_sign { config_id; nodes; metadata = "" })
+
+let request_trim t ~upto = Sequence_paxos.request_trim t.sp ~upto
+let is_leader t = Sequence_paxos.is_leader t.sp
+let leader_pid t = Sequence_paxos.leader_pid t.sp
+let current_ballot t = Ble.current_ballot t.ble
+let is_quorum_connected t = Ble.is_quorum_connected t.ble
+let decided_idx t = Sequence_paxos.decided_idx t.sp
+let log_length t = Sequence_paxos.log_length t.sp
+let read_decided t ~from = Sequence_paxos.read_decided t.sp ~from
+let read_log t = Sequence_paxos.read_log t.sp
+let stop_sign t = Sequence_paxos.stop_sign t.sp
+let is_stopped t = Sequence_paxos.is_stopped t.sp
+let sequence_paxos t = t.sp
+let ble t = t.ble
+
+let msg_size = function
+  | Ble_msg m -> Ble.msg_size m
+  | Sp_msg m -> Sequence_paxos.msg_size m

@@ -1,0 +1,525 @@
+module Log = Replog.Log
+
+type msg =
+  | Prepare of {
+      n : Ballot.t;
+      acc_rnd : Ballot.t;
+      log_idx : int;
+      decided_idx : int;
+    }
+  | Promise of {
+      n : Ballot.t;
+      acc_rnd : Ballot.t;
+      log_idx : int;
+      decided_idx : int;
+      suffix_from : int;
+      suffix : Entry.t list;
+    }
+  | Accept_sync of {
+      n : Ballot.t;
+      sync_idx : int;
+      suffix : Entry.t list;
+      decided_idx : int;
+      snapshot : (int * string) option;
+          (* state snapshot covering [0, idx), for followers below the
+             leader's trim point *)
+    }
+  | Accept of {
+      n : Ballot.t;
+      start_idx : int;
+      entries : Entry.t list;
+      decided_idx : int;
+    }
+  | Accepted of { n : Ballot.t; log_idx : int }
+  | Decide of { n : Ballot.t; decided_idx : int }
+  | Trim of { n : Ballot.t; trim_idx : int }
+  | Prepare_req
+
+type persistent = {
+  log : Entry.t Log.t;
+  mutable prom_rnd : Ballot.t;
+  mutable acc_rnd : Ballot.t;
+  mutable decided_idx : int;
+}
+
+type role = Follower | Leader_prepare | Leader_accept
+
+(* Cap on entries per Accept, as real implementations bound their message
+   size; a large backlog streams as a pipeline of batches across flushes. *)
+let max_batch = 4096
+
+type promise_info = {
+  p_acc_rnd : Ballot.t;
+  p_log_idx : int;
+  p_decided_idx : int;
+  p_suffix_from : int;
+  p_suffix : Entry.t list;
+}
+
+type t = {
+  id : int;
+  peers : int list;
+  quorum : int;
+  dur : persistent;
+  send : dst:int -> msg -> unit;
+  on_decide : int -> unit;
+  snapshotter : (unit -> string) option;
+  on_snapshot : int -> string -> unit;
+  mutable role : role;
+  (* Prepare-phase state. *)
+  promises : (int, promise_info) Hashtbl.t;
+  buffer : Entry.t Queue.t;
+  (* Accept-phase state. *)
+  synced : (int, unit) Hashtbl.t;
+  acc_idx : (int, int) Hashtbl.t;
+  sent_idx : (int, int) Hashtbl.t;
+  (* Index of the stop-sign entry in the log, if any. *)
+  mutable ss_idx : int option;
+}
+
+let fresh_persistent () =
+  {
+    log = Log.create ();
+    prom_rnd = Ballot.bottom;
+    acc_rnd = Ballot.bottom;
+    decided_idx = 0;
+  }
+
+let find_stop_sign_from log ~from =
+  let found = ref None in
+  Log.iteri_from log ~from (fun i e ->
+      if !found = None && Entry.is_stop_sign e then found := Some i);
+  !found
+
+let create ~id ~peers ~persistent ~send ?(on_decide = fun _ -> ())
+    ?snapshotter ?(on_snapshot = fun _ _ -> ()) () =
+  let n_total = List.length peers + 1 in
+  {
+    id;
+    peers;
+    quorum = (n_total / 2) + 1;
+    dur = persistent;
+    send;
+    on_decide;
+    snapshotter;
+    on_snapshot;
+    role = Follower;
+    promises = Hashtbl.create 8;
+    buffer = Queue.create ();
+    synced = Hashtbl.create 8;
+    acc_idx = Hashtbl.create 8;
+    sent_idx = Hashtbl.create 8;
+    ss_idx = find_stop_sign_from persistent.log ~from:0;
+  }
+
+let id t = t.id
+let role t = t.role
+let is_leader t = t.role <> Follower
+let current_round t = t.dur.prom_rnd
+
+let leader_pid t =
+  if Ballot.equal t.dur.prom_rnd Ballot.bottom then None
+  else Some t.dur.prom_rnd.Ballot.pid
+
+let decided_idx t = t.dur.decided_idx
+let log_length t = Log.length t.dur.log
+(* Entries below the trim point are unavailable; reads clamp to it. *)
+let read_decided t ~from =
+  let from = max from (Log.first_idx t.dur.log) in
+  Log.sub t.dur.log ~pos:from ~len:(t.dur.decided_idx - from)
+let read_log t = t.dur.log
+let is_stopped t = t.ss_idx <> None
+
+let stop_sign t =
+  match t.ss_idx with
+  | Some i when t.dur.decided_idx > i -> (
+      match Log.get t.dur.log i with
+      | Entry.Stop_sign ss -> Some ss
+      | Entry.Cmd _ -> None)
+  | Some _ | None -> None
+
+(* Replace the log suffix during synchronisation, keeping [ss_idx] accurate
+   (a non-chosen stop-sign can be overwritten, Figure 3a). *)
+let sync_log t ~at suffix =
+  Log.set_suffix t.dur.log ~at suffix;
+  (match t.ss_idx with Some i when i >= at -> t.ss_idx <- None | _ -> ());
+  if t.ss_idx = None then
+    t.ss_idx <-
+      Option.map (fun i -> at + i)
+        (List.find_index Entry.is_stop_sign suffix)
+
+let append_entry t e =
+  Log.append t.dur.log e;
+  if Entry.is_stop_sign e && t.ss_idx = None then
+    t.ss_idx <- Some (Log.length t.dur.log - 1)
+
+let advance_decided t d =
+  let d = min d (Log.length t.dur.log) in
+  if d > t.dur.decided_idx then begin
+    t.dur.decided_idx <- d;
+    t.on_decide d
+  end
+
+(* Leader: largest index accepted (in this round) by a quorum. *)
+let try_decide t =
+  let values =
+    Log.length t.dur.log
+    :: Hashtbl.fold (fun _ v acc -> v :: acc) t.acc_idx []
+  in
+  if List.length values >= t.quorum then begin
+    let sorted = List.sort (fun a b -> Int.compare b a) values in
+    let decidable = List.nth sorted (t.quorum - 1) in
+    if decidable > t.dur.decided_idx then begin
+      advance_decided t decidable;
+      let decide = Decide { n = t.dur.prom_rnd; decided_idx = decidable } in
+      Hashtbl.iter (fun f () -> t.send ~dst:f decide) t.synced
+    end
+  end
+
+(* Send the AcceptSync that makes follower [f]'s log a prefix of ours: if the
+   follower accepted in the same round as the adopted log, its log is already
+   a consistent prefix and only the missing tail is sent; otherwise its
+   non-chosen suffix may conflict and is overwritten from its decided index. *)
+let accept_sync_follower t ~dst ~(info : promise_info) ~max_acc_rnd =
+  let wanted =
+    if Ballot.equal info.p_acc_rnd max_acc_rnd then info.p_log_idx
+    else info.p_decided_idx
+  in
+  let floor = Log.first_idx t.dur.log in
+  (* A follower below our trim point (e.g. one that lost its disk) cannot be
+     repaired with entries alone: ship a state snapshot covering the trimmed
+     prefix, when the application provides one. Otherwise serve from the
+     trim point — safe in the normal case, where the region below it is
+     decided everywhere and already identical at the follower. *)
+  let snapshot =
+    if wanted < floor then
+      match t.snapshotter with
+      | Some take -> Some (floor, take ())
+      | None -> None
+    else None
+  in
+  let sync_idx = max wanted floor in
+  let suffix = Log.suffix t.dur.log ~from:sync_idx in
+  t.send ~dst
+    (Accept_sync
+       {
+         n = t.dur.prom_rnd;
+         sync_idx;
+         suffix;
+         decided_idx = t.dur.decided_idx;
+         snapshot;
+       });
+  Hashtbl.replace t.synced dst ();
+  Hashtbl.replace t.sent_idx dst (Log.length t.dur.log)
+
+(* Prepare phase completion: adopt the most updated log among the quorum of
+   promises (P2c), append buffered proposals, and synchronise followers. *)
+let complete_prepare t =
+  let n = t.dur.prom_rnd in
+  (* The leader's own state acts as a promise too. *)
+  let best_src = ref t.id
+  and best_key = ref (t.dur.acc_rnd, Log.length t.dur.log) in
+  let consider src (acc_rnd, log_idx) =
+    let better =
+      let r = Ballot.compare acc_rnd (fst !best_key) in
+      r > 0 || (r = 0 && log_idx > snd !best_key)
+    in
+    if better then begin
+      best_src := src;
+      best_key := (acc_rnd, log_idx)
+    end
+  in
+  Hashtbl.iter
+    (fun src info -> consider src (info.p_acc_rnd, info.p_log_idx))
+    t.promises;
+  (if !best_src <> t.id then
+     let info = Hashtbl.find t.promises !best_src in
+     sync_log t ~at:info.p_suffix_from info.p_suffix);
+  let max_acc_rnd = fst !best_key in
+  t.dur.acc_rnd <- n;
+  (* Decided indexes reported by the quorum refer to chosen prefixes of the
+     adopted log; adopt the largest. *)
+  let max_decided =
+    Hashtbl.fold
+      (fun _ info acc -> max acc info.p_decided_idx)
+      t.promises t.dur.decided_idx
+  in
+  (* Append proposals buffered during the Prepare phase, unless the adopted
+     log ends the configuration. *)
+  Queue.iter
+    (fun e -> if t.ss_idx = None then append_entry t e)
+    t.buffer;
+  Queue.clear t.buffer;
+  t.role <- Leader_accept;
+  Hashtbl.reset t.synced;
+  Hashtbl.reset t.acc_idx;
+  Hashtbl.reset t.sent_idx;
+  advance_decided t max_decided;
+  Hashtbl.iter
+    (fun dst info -> accept_sync_follower t ~dst ~info ~max_acc_rnd)
+    t.promises;
+  try_decide t
+
+let start_prepare t =
+  t.role <- Leader_prepare;
+  Hashtbl.reset t.promises;
+  Hashtbl.reset t.synced;
+  Hashtbl.reset t.acc_idx;
+  Hashtbl.reset t.sent_idx;
+  let prepare =
+    Prepare
+      {
+        n = t.dur.prom_rnd;
+        acc_rnd = t.dur.acc_rnd;
+        log_idx = Log.length t.dur.log;
+        decided_idx = t.dur.decided_idx;
+      }
+  in
+  List.iter (fun peer -> t.send ~dst:peer prepare) t.peers;
+  if t.quorum = 1 then complete_prepare t
+
+let handle_leader t (b : Ballot.t) =
+  if b.Ballot.pid = t.id then begin
+    if Ballot.(b > t.dur.prom_rnd) then begin
+      t.dur.prom_rnd <- b;
+      start_prepare t
+    end
+  end
+  else if Ballot.(b > t.dur.prom_rnd) then begin
+    (* A higher round exists elsewhere: step down, and ask its leader for a
+       Prepare — covers servers that started after the Prepare broadcast
+       (e.g. a freshly migrated server joining a running configuration). *)
+    if t.role <> Follower then t.role <- Follower;
+    t.send ~dst:b.Ballot.pid Prepare_req
+  end
+
+let on_prepare t ~src ~n ~l_acc_rnd ~l_log_idx ~l_decided_idx =
+  if Ballot.(n >= t.dur.prom_rnd) then begin
+    t.dur.prom_rnd <- n;
+    if n.Ballot.pid <> t.id then t.role <- Follower;
+    (* Send the entries the leader might be missing (Figure 3b (3)). A
+       compacted log can only serve from its trim point; anything below it
+       is decided-and-trimmed everywhere, hence identical at the leader. *)
+    let floor = Log.first_idx t.dur.log in
+    let suffix_from, suffix =
+      if Ballot.(t.dur.acc_rnd > l_acc_rnd) then
+        let from = max l_decided_idx floor in
+        (from, Log.suffix t.dur.log ~from)
+      else if
+        Ballot.equal t.dur.acc_rnd l_acc_rnd
+        && Log.length t.dur.log > l_log_idx
+      then
+        let from = max l_log_idx floor in
+        (from, Log.suffix t.dur.log ~from)
+      else (Log.length t.dur.log, [])
+    in
+    t.send ~dst:src
+      (Promise
+         {
+           n;
+           acc_rnd = t.dur.acc_rnd;
+           log_idx = Log.length t.dur.log;
+           decided_idx = t.dur.decided_idx;
+           suffix_from;
+           suffix;
+         })
+  end
+
+let on_promise t ~src ~n ~(info : promise_info) =
+  if Ballot.equal n t.dur.prom_rnd then
+    match t.role with
+    | Leader_prepare ->
+        Hashtbl.replace t.promises src info;
+        if Hashtbl.length t.promises + 1 >= t.quorum then complete_prepare t
+    | Leader_accept ->
+        (* Straggler outside the Prepare-phase majority, or a peer
+           re-promising after a session drop: synchronise it now. *)
+        Hashtbl.replace t.promises src info;
+        accept_sync_follower t ~dst:src ~info ~max_acc_rnd:t.dur.acc_rnd
+    | Follower -> ()
+
+let on_accept_sync t ~n ~sync_idx ~suffix ~l_decided_idx ~snapshot =
+  if Ballot.equal n t.dur.prom_rnd then begin
+    match snapshot with
+    | Some (idx, payload) ->
+        (* Install the state snapshot: the log restarts at [idx]; the
+           application restores its state machine from the payload. *)
+        t.dur.acc_rnd <- n;
+        Log.reset_to t.dur.log ~offset:idx;
+        t.ss_idx <- None;
+        Log.append_list t.dur.log suffix;
+        t.ss_idx <-
+          Option.map (fun i -> idx + i) (List.find_index Entry.is_stop_sign suffix);
+        t.dur.decided_idx <- max t.dur.decided_idx idx;
+        t.on_snapshot idx payload;
+        t.send ~dst:n.Ballot.pid (Accepted { n; log_idx = Log.length t.dur.log });
+        advance_decided t l_decided_idx
+    | None ->
+        if sync_idx <= Log.length t.dur.log && sync_idx >= Log.first_idx t.dur.log
+        then begin
+          t.dur.acc_rnd <- n;
+          sync_log t ~at:sync_idx suffix;
+          t.send ~dst:n.Ballot.pid
+            (Accepted { n; log_idx = Log.length t.dur.log });
+          advance_decided t l_decided_idx
+        end
+  end
+
+(* Accepts carry their starting log index: re-deliveries overlap and are
+   deduplicated, and a batch that would create a gap (messages lost without a
+   session drop observed yet) is ignored — the session-reset path resyncs. *)
+let on_accept t ~n ~start_idx ~entries ~l_decided_idx =
+  if
+    Ballot.equal n t.dur.prom_rnd
+    && Ballot.equal n t.dur.acc_rnd
+    && t.role = Follower
+    && start_idx <= Log.length t.dur.log
+  then begin
+    let already = Log.length t.dur.log - start_idx in
+    let fresh = if already <= 0 then entries else List.filteri (fun i _ -> i >= already) entries in
+    List.iter (append_entry t) fresh;
+    t.send ~dst:n.Ballot.pid (Accepted { n; log_idx = Log.length t.dur.log });
+    advance_decided t l_decided_idx
+  end
+
+let on_accepted t ~src ~n ~f_log_idx =
+  if Ballot.equal n t.dur.prom_rnd && t.role = Leader_accept then begin
+    let prev = Option.value (Hashtbl.find_opt t.acc_idx src) ~default:0 in
+    Hashtbl.replace t.acc_idx src (max prev f_log_idx);
+    try_decide t
+  end
+
+let on_decide_msg t ~n ~l_decided_idx =
+  if Ballot.equal n t.dur.prom_rnd && Ballot.equal n t.dur.acc_rnd then
+    advance_decided t l_decided_idx
+
+let on_trim t ~n ~trim_idx =
+  if
+    Ballot.equal n t.dur.prom_rnd
+    && trim_idx <= t.dur.decided_idx
+    && trim_idx <= Log.length t.dur.log
+  then Log.trim t.dur.log ~upto:trim_idx
+
+(* Log compaction (§6 / the omnipaxos crate's [trim]): the leader may
+   discard a decided prefix once every server has accepted it, and tells
+   the followers to do the same. Returns [false] when some server has not
+   confirmed the entries yet. *)
+let request_trim t ~upto =
+  let all_peers_accepted =
+    List.for_all
+      (fun p ->
+        match Hashtbl.find_opt t.acc_idx p with
+        | Some acc -> acc >= upto
+        | None -> false)
+      t.peers
+  in
+  if t.role = Leader_accept && upto <= t.dur.decided_idx && all_peers_accepted
+  then begin
+    Log.trim t.dur.log ~upto;
+    let m = Trim { n = t.dur.prom_rnd; trim_idx = upto } in
+    List.iter (fun p -> t.send ~dst:p m) t.peers;
+    true
+  end
+  else false
+
+let resend_prepare_to t ~dst =
+  (* The peer lost messages (session drop or recovery): treat it as
+     unpromised and restart its synchronisation from a fresh Prepare. *)
+  Hashtbl.remove t.synced dst;
+  Hashtbl.remove t.acc_idx dst;
+  Hashtbl.remove t.sent_idx dst;
+  Hashtbl.remove t.promises dst;
+  t.send ~dst
+    (Prepare
+       {
+         n = t.dur.prom_rnd;
+         acc_rnd = t.dur.acc_rnd;
+         log_idx = Log.length t.dur.log;
+         decided_idx = t.dur.decided_idx;
+       })
+
+let handle t ~src msg =
+  match msg with
+  | Prepare { n; acc_rnd; log_idx; decided_idx } ->
+      on_prepare t ~src ~n ~l_acc_rnd:acc_rnd ~l_log_idx:log_idx
+        ~l_decided_idx:decided_idx
+  | Promise { n; acc_rnd; log_idx; decided_idx; suffix_from; suffix } ->
+      on_promise t ~src ~n
+        ~info:
+          {
+            p_acc_rnd = acc_rnd;
+            p_log_idx = log_idx;
+            p_decided_idx = decided_idx;
+            p_suffix_from = suffix_from;
+            p_suffix = suffix;
+          }
+  | Accept_sync { n; sync_idx; suffix; decided_idx; snapshot } ->
+      on_accept_sync t ~n ~sync_idx ~suffix ~l_decided_idx:decided_idx
+        ~snapshot
+  | Accept { n; start_idx; entries; decided_idx } ->
+      on_accept t ~n ~start_idx ~entries ~l_decided_idx:decided_idx
+  | Accepted { n; log_idx } -> on_accepted t ~src ~n ~f_log_idx:log_idx
+  | Decide { n; decided_idx } -> on_decide_msg t ~n ~l_decided_idx:decided_idx
+  | Trim { n; trim_idx } -> on_trim t ~n ~trim_idx
+  | Prepare_req -> if is_leader t then resend_prepare_to t ~dst:src
+
+let propose t entry =
+  match t.role with
+  | Follower -> false
+  | Leader_prepare ->
+      if t.ss_idx <> None then false
+      else begin
+        Queue.add entry t.buffer;
+        true
+      end
+  | Leader_accept ->
+      if t.ss_idx <> None then false
+      else begin
+        append_entry t entry;
+        true
+      end
+
+let flush t =
+  if t.role = Leader_accept then begin
+    let len = Log.length t.dur.log in
+    Hashtbl.iter
+      (fun f () ->
+        let from = Option.value (Hashtbl.find_opt t.sent_idx f) ~default:len in
+        if from < len then begin
+          let count = min max_batch (len - from) in
+          t.send ~dst:f
+            (Accept
+               {
+                 n = t.dur.prom_rnd;
+                 start_idx = from;
+                 entries = Log.sub t.dur.log ~pos:from ~len:count;
+                 decided_idx = t.dur.decided_idx;
+               });
+          Hashtbl.replace t.sent_idx f (from + count)
+        end)
+      t.synced;
+    if t.quorum = 1 then try_decide t
+  end
+
+let recover t =
+  t.role <- Follower;
+  List.iter (fun peer -> t.send ~dst:peer Prepare_req) t.peers
+
+let session_reset t ~peer =
+  if is_leader t then resend_prepare_to t ~dst:peer
+  else t.send ~dst:peer Prepare_req
+
+let entries_size entries =
+  List.fold_left (fun acc e -> acc + Entry.size e) 0 entries
+
+let msg_size = function
+  | Prepare _ -> 57
+  | Promise { suffix; _ } -> 65 + entries_size suffix
+  | Accept_sync { suffix; snapshot; _ } ->
+      49 + entries_size suffix
+      + (match snapshot with Some (_, p) -> 16 + String.length p | None -> 0)
+  | Accept { entries; _ } -> 41 + entries_size entries
+  | Accepted _ -> 33
+  | Decide _ -> 33
+  | Trim _ -> 33
+  | Prepare_req -> 9

@@ -1,0 +1,135 @@
+(** Sequence Paxos — the log replication protocol of Omni-Paxos (§4).
+
+    Replicates a gap-free, strictly growing log satisfying the Sequence
+    Consensus properties SC1 (validity), SC2 (uniform agreement) and SC3
+    (integrity). Leadership comes from outside (BLE) through
+    [handle_leader]; a newly-elected leader synchronises the most updated
+    log among a majority in the Prepare phase and then pipelines batched
+    entries in the Accept phase.
+
+    The module is transport-agnostic; the caller delivers messages, leader
+    events, session resets, and periodic [flush] calls (which emit the
+    batched [Accept] messages). Persistent state lives in a caller-owned
+    [persistent] record so that crash/recovery can be modelled faithfully:
+    rebuild the node with [create] on the same record and call [recover]. *)
+
+type msg =
+  | Prepare of {
+      n : Ballot.t;
+      acc_rnd : Ballot.t;
+      log_idx : int;
+      decided_idx : int;
+    }
+  | Promise of {
+      n : Ballot.t;
+      acc_rnd : Ballot.t;
+      log_idx : int;
+      decided_idx : int;
+      suffix_from : int;
+      suffix : Entry.t list;
+    }
+  | Accept_sync of {
+      n : Ballot.t;
+      sync_idx : int;
+      suffix : Entry.t list;
+      decided_idx : int;
+      snapshot : (int * string) option;
+          (** a state snapshot covering entries [0, idx), sent to followers
+              whose logs are below the leader's trim point *)
+    }
+  | Accept of {
+      n : Ballot.t;
+      start_idx : int;  (** log position of the first entry of the batch *)
+      entries : Entry.t list;
+      decided_idx : int;
+    }
+  | Accepted of { n : Ballot.t; log_idx : int }
+  | Decide of { n : Ballot.t; decided_idx : int }
+  | Trim of { n : Ballot.t; trim_idx : int }
+      (** log compaction: discard the decided prefix below [trim_idx] *)
+  | Prepare_req
+
+type persistent = {
+  log : Entry.t Replog.Log.t;
+  mutable prom_rnd : Ballot.t;  (** highest round promised *)
+  mutable acc_rnd : Ballot.t;  (** round of the last accepted entry *)
+  mutable decided_idx : int;
+}
+
+type role = Follower | Leader_prepare | Leader_accept
+
+type t
+
+val fresh_persistent : unit -> persistent
+
+val create :
+  id:int ->
+  peers:int list ->
+  persistent:persistent ->
+  send:(dst:int -> msg -> unit) ->
+  ?on_decide:(int -> unit) ->
+  ?snapshotter:(unit -> string) ->
+  ?on_snapshot:(int -> string -> unit) ->
+  unit ->
+  t
+(** [on_decide] fires with the new decided index every time it advances.
+    [snapshotter] supplies an opaque state-machine snapshot covering the
+    trimmed prefix, used to repair followers that fell below the trim point
+    (e.g. after losing their storage); [on_snapshot idx payload] fires at
+    the receiving side so the application can restore its state machine. *)
+
+val handle : t -> src:int -> msg -> unit
+
+val handle_leader : t -> Ballot.t -> unit
+(** Leader event from BLE: if the ballot is ours and higher than anything
+    promised, start the Prepare phase; otherwise step down to follower. *)
+
+val propose : t -> Entry.t -> bool
+(** Append a client command (or stop-sign). Returns [false] if this server
+    is not the leader, or the configuration is stopped — the client must
+    retry elsewhere. During the Prepare phase proposals are buffered. *)
+
+val flush : t -> unit
+(** Emit one batched [Accept] per promised follower with the entries
+    proposed since the previous flush. Call periodically (e.g. every tick)
+    or after each burst of proposals. *)
+
+val request_trim : t -> upto:int -> bool
+(** Leader-side log compaction: discard the decided prefix below [upto] on
+    every server. Succeeds only if [upto] is decided and every peer has
+    acknowledged accepting at least [upto] in the current round; the
+    followers then trim on receipt. *)
+
+val recover : t -> unit
+(** Fail-recovery (§4.1.3): enter the recover state and broadcast
+    [Prepare_req]; the current leader answers with a [Prepare] that leads to
+    log synchronisation. *)
+
+val session_reset : t -> peer:int -> unit
+(** Link session drop/re-establishment with [peer] (§4.1.3): a leader
+    re-sends [Prepare] to that peer; a follower sends [Prepare_req]. *)
+
+(** {1 Observers} *)
+
+val id : t -> int
+val role : t -> role
+val is_leader : t -> bool
+val current_round : t -> Ballot.t
+val leader_pid : t -> int option
+(** The pid of the round this server currently follows (or leads). *)
+
+val decided_idx : t -> int
+val log_length : t -> int
+val read_decided : t -> from:int -> Entry.t list
+(** Decided entries from [from] (clamped to the trim point). *)
+
+val read_log : t -> Entry.t Replog.Log.t
+val is_stopped : t -> bool
+(** Whether a stop-sign has been appended/adopted (the configuration is
+    being stopped). *)
+
+val stop_sign : t -> Entry.stop_sign option
+(** The stop-sign, once it is decided. *)
+
+val msg_size : msg -> int
+(** Serialised size estimate in bytes, for IO accounting. *)

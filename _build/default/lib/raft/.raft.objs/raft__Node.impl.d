@@ -1,0 +1,1 @@
+lib/raft/node.ml: Hashtbl Int List Option Random Replog

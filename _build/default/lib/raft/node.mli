@@ -1,0 +1,101 @@
+(** Raft consensus (Ongaro & Ousterhout, 2014), used as the paper's main
+    baseline. Implements leader election with randomized timeouts and the
+    max-log vote restriction, log replication with [nextIndex] backtracking
+    and pipelined batches, and the commit rule restricted to the current
+    term.
+
+    Two optional mechanisms reproduce the "Raft PV+CQ" configuration of the
+    evaluation (the patch of Jensen et al. [24]):
+    - [pre_vote]: candidates first run a PreVote round that does not disturb
+      terms; a server only grants a pre-vote if its own election timer has
+      expired (i.e. it no longer hears a leader).
+    - [check_quorum]: a leader steps down if it has not heard from a
+      majority within one election timeout.
+
+    Reconfiguration follows the TiKV practice the paper benchmarks against:
+    new servers join as learners, the leader alone streams them the full log,
+    and once caught up a config-change entry switches the voter set.
+
+    Driven by [tick]; the election timeout is drawn uniformly from
+    [election_ticks, 2 * election_ticks] ticks, heartbeats are sent every
+    [max 1 (election_ticks / 5)] ticks. *)
+
+type entry_data =
+  | Cmd of Replog.Command.t
+  | Config of { config_id : int; voters : int list }
+
+type entry = { term : int; data : entry_data }
+
+type msg =
+  | Request_vote of {
+      term : int;
+      last_log_idx : int;
+      last_log_term : int;
+      pre_vote : bool;
+    }
+  | Vote of { term : int; granted : bool; pre_vote : bool }
+  | Append_entries of {
+      term : int;
+      prev_idx : int;  (** index before the first entry; -1 if none *)
+      prev_term : int;
+      entries : entry list;
+      commit_idx : int;
+    }
+  | Append_resp of {
+      term : int;
+      success : bool;
+      match_idx : int;  (** on failure: the follower's log length, as hint *)
+    }
+
+type persistent = {
+  mutable term : int;
+  mutable voted_for : int option;
+  log : entry Replog.Log.t;
+}
+
+type role = Follower | Candidate | Leader
+
+type t
+
+val fresh_persistent : unit -> persistent
+
+val create :
+  id:int ->
+  voters:int list ->
+  ?pre_vote:bool ->
+  ?check_quorum:bool ->
+  election_ticks:int ->
+  rand:Random.State.t ->
+  persistent:persistent ->
+  send:(dst:int -> msg -> unit) ->
+  ?on_commit:(int -> unit) ->
+  unit ->
+  t
+(** [voters] must include [id]. *)
+
+val handle : t -> src:int -> msg -> unit
+val tick : t -> unit
+val session_reset : t -> peer:int -> unit
+val recover : t -> unit
+
+val propose : t -> Replog.Command.t -> bool
+
+val add_learners : t -> int list -> unit
+(** Leader only: start streaming the log to these servers (reconfiguration
+    phase 1). *)
+
+val learners_caught_up : t -> bool
+val propose_config : t -> config_id:int -> voters:int list -> bool
+(** Append the config-change entry (reconfiguration phase 2). *)
+
+val committed_config : t -> (int * int list) option
+(** The last committed [Config] entry, if any. *)
+
+val role : t -> role
+val is_leader : t -> bool
+val leader_pid : t -> int option
+val current_term : t -> int
+val commit_idx : t -> int
+val log_length : t -> int
+val read_committed : t -> from:int -> entry list
+val msg_size : msg -> int

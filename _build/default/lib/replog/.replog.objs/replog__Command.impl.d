@@ -1,0 +1,1 @@
+lib/replog/command.ml: Format Int String

@@ -1,0 +1,1 @@
+lib/replog/kv.ml: Buffer Command Hashtbl Printf String

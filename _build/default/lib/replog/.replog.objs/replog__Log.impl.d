@@ -1,0 +1,1 @@
+lib/replog/log.ml: Array List Printf

@@ -1,0 +1,37 @@
+(** Client commands replicated by the state machines.
+
+    The paper's evaluation proposes 8-byte no-op commands; the [Noop]
+    constructor models exactly that. [Kv] operations back the key-value
+    store example and [Blob] models commands of arbitrary payload size for
+    IO-volume experiments. *)
+
+type op =
+  | Noop
+  | Kv_put of string * string
+  | Kv_get of string
+  | Kv_del of string
+  | Blob of int  (** payload of [n] bytes *)
+
+type t = { id : int; op : op }
+
+let make ~id op = { id; op }
+let noop id = { id; op = Noop }
+
+(* Serialised size estimate in bytes: the paper's no-ops are 8 bytes. *)
+let size t =
+  match t.op with
+  | Noop -> 8
+  | Kv_put (k, v) -> 8 + String.length k + String.length v
+  | Kv_get k | Kv_del k -> 8 + String.length k
+  | Blob n -> max 8 n
+
+let equal a b = a.id = b.id && a.op = b.op
+let compare a b = Int.compare a.id b.id
+
+let pp ppf t =
+  match t.op with
+  | Noop -> Format.fprintf ppf "#%d:noop" t.id
+  | Kv_put (k, v) -> Format.fprintf ppf "#%d:put(%s=%s)" t.id k v
+  | Kv_get k -> Format.fprintf ppf "#%d:get(%s)" t.id k
+  | Kv_del k -> Format.fprintf ppf "#%d:del(%s)" t.id k
+  | Blob n -> Format.fprintf ppf "#%d:blob(%dB)" t.id n

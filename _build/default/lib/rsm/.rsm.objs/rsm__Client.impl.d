@@ -1,0 +1,1 @@
+lib/rsm/client.ml: Metrics

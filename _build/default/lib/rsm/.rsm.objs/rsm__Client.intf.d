@@ -1,0 +1,1 @@
+lib/rsm/client.mli: Metrics

@@ -1,0 +1,1 @@
+lib/rsm/cluster.ml: Array Client Float List Option Protocol Replog Simnet

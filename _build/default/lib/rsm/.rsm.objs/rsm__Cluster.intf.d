@@ -1,0 +1,1 @@
+lib/rsm/cluster.mli: Client Protocol Simnet

@@ -1,0 +1,1 @@
+lib/rsm/experiments.ml: Client Cluster Float Fun List Metrics Multipaxos_adapter Omni_adapter Option Protocol Raft_adapter Reconfig Scenario Simnet Vr_adapter

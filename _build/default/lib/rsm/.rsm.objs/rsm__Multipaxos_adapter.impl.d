@@ -1,0 +1,1 @@
+lib/rsm/multipaxos_adapter.ml: Multipaxos Protocol Replog

@@ -1,0 +1,1 @@
+lib/rsm/omni_adapter.ml: Omnipaxos Protocol Replog

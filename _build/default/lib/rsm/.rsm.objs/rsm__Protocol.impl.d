@@ -1,0 +1,1 @@
+lib/rsm/protocol.ml: Array Random Replog

@@ -1,0 +1,1 @@
+lib/rsm/raft_adapter.ml: List Protocol Raft Replog

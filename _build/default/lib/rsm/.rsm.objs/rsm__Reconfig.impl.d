@@ -1,0 +1,1 @@
+lib/rsm/reconfig.ml: Array Client Cluster Float List Metrics Omnipaxos Option Raft Replog Simnet

@@ -1,0 +1,1 @@
+lib/rsm/reconfig.mli: Cluster Metrics

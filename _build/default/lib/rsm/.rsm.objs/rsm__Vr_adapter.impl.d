@@ -1,0 +1,1 @@
+lib/rsm/vr_adapter.ml: List Omnipaxos Protocol Replog Vr

@@ -1,0 +1,95 @@
+(** Generic closed-loop client: keeps [cp] proposals outstanding against
+    whatever leader the callbacks expose, re-proposing after [retry_ms]
+    without progress (commands stuck at a deposed or stopped leader are
+    abandoned and re-issued). Records the cumulative decided count over
+    simulated time and the number of leader changes. *)
+
+type callbacks = {
+  now : unit -> float;
+  decided : unit -> int;  (** monotone count of decided client commands *)
+  leader : unit -> int option;
+  propose_batch : leader:int -> first_id:int -> count:int -> int;
+      (** returns how many proposals were accepted *)
+  schedule : delay:float -> (unit -> unit) -> unit;
+}
+
+type t = {
+  cb : callbacks;
+  cp : int;
+  poll_ms : float;
+  retry_ms : float;
+  series : Metrics.Series.t;
+  mutable next_id : int;
+  mutable in_flight : int;
+  mutable last_decided : int;
+  mutable last_progress : float;
+  mutable last_leader : int option;
+  mutable leader_changes : int;
+  mutable running : bool;
+}
+
+let poll c =
+  let time = c.cb.now () in
+  let decided = c.cb.decided () in
+  let newly = decided - c.last_decided in
+  if newly > 0 then begin
+    c.last_decided <- decided;
+    c.in_flight <- max 0 (c.in_flight - newly);
+    c.last_progress <- time
+  end;
+  Metrics.Series.push c.series ~time ~count:decided;
+  (* Count a leader change whenever a leader emerges that differs from the
+     last known one (flapping through leaderless periods included). *)
+  let lead = c.cb.leader () in
+  (match lead with
+  | Some l when c.last_leader <> Some l ->
+      if c.last_leader <> None then c.leader_changes <- c.leader_changes + 1;
+      c.last_leader <- Some l
+  | Some _ | None -> ());
+  if c.in_flight > 0 && time -. c.last_progress > c.retry_ms then begin
+    c.in_flight <- 0;
+    c.last_progress <- time
+  end;
+  if c.in_flight < c.cp then begin
+    match lead with
+    | None -> ()
+    | Some leader ->
+        let want = c.cp - c.in_flight in
+        let got =
+          c.cb.propose_batch ~leader ~first_id:c.next_id ~count:want
+        in
+        c.next_id <- c.next_id + got;
+        c.in_flight <- c.in_flight + got
+  end
+
+let start ?(retry_ms = 200.0) ~poll_ms ~cp cb =
+  let c =
+    {
+      cb;
+      cp;
+      poll_ms;
+      retry_ms;
+      series = Metrics.Series.create ();
+      next_id = 0;
+      in_flight = 0;
+      last_decided = 0;
+      last_progress = cb.now ();
+      last_leader = None;
+      leader_changes = 0;
+      running = true;
+    }
+  in
+  let rec loop () =
+    cb.schedule ~delay:c.poll_ms (fun () ->
+        if c.running then begin
+          poll c;
+          loop ()
+        end)
+  in
+  loop ();
+  c
+
+let stop c = c.running <- false
+let series c = c.series
+let leader_changes c = c.leader_changes
+let decided c = c.last_decided

@@ -1,0 +1,28 @@
+(** Generic closed-loop client, the workload driver of the paper's
+    evaluation: keeps [cp] concurrent proposals outstanding against whatever
+    leader the callbacks expose, re-proposing after [retry_ms] without
+    progress (commands stuck at a deposed or stopped leader are abandoned
+    and re-issued with fresh ids). Records the cumulative decided count
+    over simulated time and the number of leader changes it observed. *)
+
+type callbacks = {
+  now : unit -> float;
+  decided : unit -> int;  (** monotone count of decided client commands *)
+  leader : unit -> int option;
+  propose_batch : leader:int -> first_id:int -> count:int -> int;
+      (** submit up to [count] commands with consecutive ids starting at
+          [first_id]; returns how many were accepted *)
+  schedule : delay:float -> (unit -> unit) -> unit;
+}
+
+type t
+
+val start : ?retry_ms:float -> poll_ms:float -> cp:int -> callbacks -> t
+(** Start polling every [poll_ms]; [retry_ms] (default 200) is the
+    no-progress interval after which outstanding proposals are abandoned
+    and re-issued. *)
+
+val stop : t -> unit
+val series : t -> Metrics.Series.t
+val leader_changes : t -> int
+val decided : t -> int

@@ -1,0 +1,108 @@
+(** Measurement utilities: decided-count time series and small-sample
+    statistics (mean and 95% confidence interval via the t-distribution, as
+    in the paper's figures). *)
+
+module Series = struct
+  (* Cumulative decided-count samples over simulated time. *)
+  type t = {
+    mutable times : float array;
+    mutable counts : int array;
+    mutable len : int;
+  }
+
+  let create () = { times = Array.make 256 0.0; counts = Array.make 256 0; len = 0 }
+
+  let push t ~time ~count =
+    if t.len = Array.length t.times then begin
+      let grow a z =
+        let b = Array.make (2 * Array.length a) z in
+        Array.blit a 0 b 0 t.len;
+        b
+      in
+      t.times <- grow t.times 0.0;
+      t.counts <- grow t.counts 0
+    end;
+    t.times.(t.len) <- time;
+    t.counts.(t.len) <- count;
+    t.len <- t.len + 1
+
+  let length t = t.len
+
+  (* Cumulative count at [time] (last sample at or before it). *)
+  let count_at t time =
+    let rec search lo hi =
+      (* invariant: times.(lo) <= time < times.(hi) *)
+      if hi - lo <= 1 then t.counts.(lo)
+      else
+        let mid = (lo + hi) / 2 in
+        if t.times.(mid) <= time then search mid hi else search lo mid
+    in
+    if t.len = 0 || time < t.times.(0) then 0
+    else if time >= t.times.(t.len - 1) then t.counts.(t.len - 1)
+    else search 0 (t.len - 1)
+
+  let total_between t ~from ~until = count_at t until - count_at t from
+
+  (* Longest interval within [from, until] with no new decided replies: the
+     paper's down-time metric. *)
+  let longest_gap t ~from ~until =
+    let gap = ref 0.0 in
+    let last_progress = ref from in
+    for i = 0 to t.len - 1 do
+      let time = t.times.(i) in
+      if time >= from && time <= until then begin
+        let prev = if i = 0 then 0 else t.counts.(i - 1) in
+        if t.counts.(i) > prev then begin
+          gap := Float.max !gap (time -. !last_progress);
+          last_progress := time
+        end
+      end
+    done;
+    Float.max !gap (until -. !last_progress)
+
+  (* Decided per window of [window] ms, covering [from, until]. *)
+  let windowed t ~from ~until ~window =
+    let n = int_of_float (ceil ((until -. from) /. window)) in
+    List.init n (fun i ->
+        let a = from +. (float_of_int i *. window) in
+        let b = Float.min until (a +. window) in
+        (a, total_between t ~from:a ~until:b))
+end
+
+module Stats = struct
+  (* Two-tailed 97.5% t-values for df = 1..30; beyond 30 use the normal
+     approximation. *)
+  let t_table =
+    [|
+      12.706; 4.303; 3.182; 2.776; 2.571; 2.447; 2.365; 2.306; 2.262; 2.228;
+      2.201; 2.179; 2.160; 2.145; 2.131; 2.120; 2.110; 2.101; 2.093; 2.086;
+      2.080; 2.074; 2.069; 2.064; 2.060; 2.056; 2.052; 2.048; 2.045; 2.042;
+    |]
+
+  let t_value ~df =
+    if df <= 0 then 0.0
+    else if df <= 30 then t_table.(df - 1)
+    else 1.96
+
+  let mean xs =
+    match xs with
+    | [] -> 0.0
+    | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+  let stddev xs =
+    let n = List.length xs in
+    if n < 2 then 0.0
+    else begin
+      let m = mean xs in
+      let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+      sqrt (ss /. float_of_int (n - 1))
+    end
+
+  (* Half-width of the 95% confidence interval. *)
+  let ci95 xs =
+    let n = List.length xs in
+    if n < 2 then 0.0
+    else t_value ~df:(n - 1) *. stddev xs /. sqrt (float_of_int n)
+
+  let mean_ci xs = (mean xs, ci95 xs)
+end

@@ -1,0 +1,38 @@
+(** Measurement utilities for the experiments: decided-count time series and
+    the small-sample statistics used in the paper's figures (mean and 95%
+    confidence interval via the t-distribution). *)
+
+module Series : sig
+  (** Cumulative decided-count samples over simulated time. *)
+  type t
+
+  val create : unit -> t
+  val push : t -> time:float -> count:int -> unit
+  val length : t -> int
+
+  val count_at : t -> float -> int
+  (** Cumulative count at the last sample at or before the given time. *)
+
+  val total_between : t -> from:float -> until:float -> int
+
+  val longest_gap : t -> from:float -> until:float -> float
+  (** Longest interval within [from, until] during which no new decided
+      replies arrived — the paper's down-time metric. *)
+
+  val windowed : t -> from:float -> until:float -> window:float -> (float * int) list
+  (** Decided count per window, as (window start, count) pairs. *)
+end
+
+module Stats : sig
+  val mean : float list -> float
+  val stddev : float list -> float
+  (** Sample standard deviation (n-1). *)
+
+  val t_value : df:int -> float
+  (** Two-tailed 97.5% t-value (normal approximation beyond df = 30). *)
+
+  val ci95 : float list -> float
+  (** Half-width of the 95% confidence interval. *)
+
+  val mean_ci : float list -> float * float
+end

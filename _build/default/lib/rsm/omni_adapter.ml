@@ -1,0 +1,105 @@
+(* Omni-Paxos behind the uniform protocol interface. *)
+
+module R = Omnipaxos.Replica
+
+type t = {
+  replica : R.t;
+  cache : Protocol.Decided_cache.t;
+  mutable scanned : int;  (* log index up to which decided entries were read *)
+}
+
+type msg = R.msg
+
+let name = "Omni-Paxos"
+
+let scan t upto =
+  let entries = R.read_decided t.replica ~from:t.scanned in
+  let rec take i = function
+    | [] -> ()
+    | e :: rest ->
+        if i < upto then begin
+          (match e with
+          | Omnipaxos.Entry.Cmd c ->
+              if c.Replog.Command.id >= 0 then
+                Protocol.Decided_cache.note t.cache c.Replog.Command.id
+          | Omnipaxos.Entry.Stop_sign _ -> ());
+          take (i + 1) rest
+        end
+  in
+  take t.scanned entries;
+  t.scanned <- upto
+
+let make ?qc_signal ?connectivity_priority ~id ~peers ~election_ticks ~rand
+    ~send () =
+  ignore rand;
+  let cache = Protocol.Decided_cache.create () in
+  let t_ref = ref None in
+  let on_decide idx =
+    match !t_ref with Some t -> scan t idx | None -> ()
+  in
+  let replica =
+    R.create ~id ~peers ?qc_signal ?connectivity_priority
+      ~hb_ticks:election_ticks ~storage:(R.Storage.create ()) ~send ~on_decide
+      ()
+  in
+  let t = { replica; cache; scanned = 0 } in
+  t_ref := Some t;
+  t
+
+let create ~id ~peers ~election_ticks ~rand ~send () =
+  make ~id ~peers ~election_ticks ~rand ~send ()
+
+let handle t ~src msg = R.handle t.replica ~src msg
+let tick t = R.tick t.replica
+let session_reset t ~peer = R.session_reset t.replica ~peer
+let propose t cmd = R.propose_cmd t.replica cmd
+let is_leader t = R.is_leader t.replica
+let leader_pid t = R.leader_pid t.replica
+let decided_count t = Protocol.Decided_cache.count t.cache
+let decided_ids t ~from = Protocol.Decided_cache.ids_from t.cache ~from
+let msg_size = R.msg_size
+let replica t = t.replica
+
+(* Ablation variant: heartbeats carry no QC flag (the "QC status heartbeats"
+   column of Table 1). Quorum-loss recovery is expected to fail. *)
+module No_qc_signal = struct
+  type nonrec t = t
+  type nonrec msg = msg
+
+  let name = "Omni (no QC flag)"
+
+  let create ~id ~peers ~election_ticks ~rand ~send () =
+    make ~qc_signal:false ~id ~peers ~election_ticks ~rand ~send ()
+
+  let handle = handle
+  let tick = tick
+  let session_reset = session_reset
+  let propose = propose
+  let is_leader = is_leader
+  let leader_pid = leader_pid
+  let decided_count = decided_count
+  let decided_ids = decided_ids
+  let msg_size = msg_size
+end
+
+(* §8 optimisation variant: takeover ballots carry connectivity, so the
+   best-connected simultaneous candidate wins ties. *)
+module Connectivity_priority = struct
+  type nonrec t = t
+  type nonrec msg = msg
+
+  let name = "Omni (conn-prio)"
+
+  let create ~id ~peers ~election_ticks ~rand ~send () =
+    make ~connectivity_priority:true ~id ~peers ~election_ticks ~rand ~send ()
+
+  let handle = handle
+  let tick = tick
+  let session_reset = session_reset
+  let propose = propose
+  let is_leader = is_leader
+  let leader_pid = leader_pid
+  let decided_count = decided_count
+  let decided_ids = decided_ids
+  let msg_size = msg_size
+end

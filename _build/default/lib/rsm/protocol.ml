@@ -1,0 +1,65 @@
+(** The uniform interface the cluster driver and the experiments use to run
+    any of the four replicated state machine protocols. *)
+
+module type PROTOCOL = sig
+  type t
+  type msg
+
+  val name : string
+
+  val create :
+    id:int ->
+    peers:int list ->
+    election_ticks:int ->
+    rand:Random.State.t ->
+    send:(dst:int -> msg -> unit) ->
+    unit ->
+    t
+  (** [election_ticks] is the election timeout expressed in driver ticks;
+      protocols derive their internal timers (heartbeat cadence, randomized
+      timeouts, view-change timers) from it. *)
+
+  val handle : t -> src:int -> msg -> unit
+  val tick : t -> unit
+  val session_reset : t -> peer:int -> unit
+
+  val propose : t -> Replog.Command.t -> bool
+  (** Returns false if this server cannot accept proposals (not the
+      leader). *)
+
+  val is_leader : t -> bool
+  val leader_pid : t -> int option
+
+  val decided_count : t -> int
+  (** Number of client commands decided so far (protocol-internal entries
+      excluded). *)
+
+  val decided_ids : t -> from:int -> int list
+  (** Ids of the decided client commands, starting from decided position
+      [from]. *)
+
+  val msg_size : msg -> int
+end
+
+(* Incrementally materialised list of decided command ids; adapters feed it
+   from their decide/commit callbacks so queries are O(delta). *)
+module Decided_cache = struct
+  type t = { mutable ids : int array; mutable count : int }
+
+  let create () = { ids = Array.make 64 0; count = 0 }
+
+  let note t id =
+    if t.count = Array.length t.ids then begin
+      let bigger = Array.make (2 * t.count) 0 in
+      Array.blit t.ids 0 bigger 0 t.count;
+      t.ids <- bigger
+    end;
+    t.ids.(t.count) <- id;
+    t.count <- t.count + 1
+
+  let count t = t.count
+
+  let ids_from t ~from =
+    let from = max 0 from in
+    Array.to_list (Array.sub t.ids from (max 0 (t.count - from)))
+end

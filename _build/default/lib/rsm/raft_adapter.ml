@@ -1,0 +1,59 @@
+(* Raft behind the uniform protocol interface, in its two evaluated
+   configurations: plain, and with PreVote + CheckQuorum ("Raft PV+CQ"). *)
+
+module N = Raft.Node
+
+type t = {
+  node : N.t;
+  cache : Protocol.Decided_cache.t;
+  mutable scanned : int;
+}
+
+let scan t upto =
+  let entries = N.read_committed t.node ~from:t.scanned in
+  List.iter
+    (fun (e : N.entry) ->
+      match e.N.data with
+      | N.Cmd c ->
+          if c.Replog.Command.id >= 0 then
+            Protocol.Decided_cache.note t.cache c.Replog.Command.id
+      | N.Config _ -> ())
+    entries;
+  t.scanned <- upto
+
+let make ~pre_vote ~check_quorum ~id ~peers ~election_ticks ~rand ~send () =
+  let cache = Protocol.Decided_cache.create () in
+  let t_ref = ref None in
+  let on_commit idx = match !t_ref with Some t -> scan t idx | None -> () in
+  let node =
+    N.create ~id ~voters:(id :: peers) ~pre_vote ~check_quorum ~election_ticks
+      ~rand ~persistent:(N.fresh_persistent ()) ~send ~on_commit ()
+  in
+  let t = { node; cache; scanned = 0 } in
+  t_ref := Some t;
+  t
+
+module Plain = struct
+  type nonrec t = t
+  type msg = N.msg
+
+  let name = "Raft"
+  let create = make ~pre_vote:false ~check_quorum:false
+  let handle t ~src msg = N.handle t.node ~src msg
+  let tick t = N.tick t.node
+  let session_reset t ~peer = N.session_reset t.node ~peer
+  let propose t cmd = N.propose t.node cmd
+  let is_leader t = N.is_leader t.node
+  let leader_pid t = N.leader_pid t.node
+  let decided_count t = Protocol.Decided_cache.count t.cache
+  let decided_ids t ~from = Protocol.Decided_cache.ids_from t.cache ~from
+  let msg_size = N.msg_size
+  let node t = t.node
+end
+
+module Pv_cq = struct
+  include Plain
+
+  let name = "Raft PV+CQ"
+  let create = make ~pre_vote:true ~check_quorum:true
+end

@@ -1,0 +1,49 @@
+(** Reconfiguration runners for the Figure 9 experiments and the §6.1
+    resilience tests.
+
+    [Omni] implements the paper's service layer: the current configuration
+    is stopped with a stop-sign; continuing servers start the next
+    configuration immediately, and newly added servers fetch the log in
+    parallel, in segments, from the continuing servers (re-routing around
+    unreachable donors). A new server starts its BLE + Sequence Paxos
+    instances only once the complete log has been fetched.
+
+    [Raft_runner] implements the leader-driven scheme the paper compares
+    against: new servers join as learners streamed by the leader alone; a
+    config entry switches the voter set when it commits, so with a majority
+    replaced, commits stall until the new servers catch up. *)
+
+type fault = Cut_link of int * int | Crash_node of int
+
+type params = {
+  net_cfg : Cluster.config;  (** [n] must cover all old and new node ids *)
+  old_nodes : int list;
+  new_nodes : int list;
+  preload : int;  (** entries in the initial log (internal ids, 8 B each) *)
+  cp : int;  (** client concurrency *)
+  reconfigure_at : float;  (** ms at which the client requests the change *)
+  total_ms : float;
+  segment_entries : int;  (** migration segment size *)
+  faults : (float * fault) list;
+      (** scheduled faults, for the §6.1 resilience experiments *)
+}
+
+type result = {
+  series : Metrics.Series.t;  (** client decided count over time *)
+  io_series : (float * int array) list;
+      (** (time, cumulative egress bytes per node), sampled every second *)
+  reconfig_committed_at : float option;
+      (** when the stop-sign (Omni) / config entry (Raft) was decided *)
+  migration_done_at : float option;
+      (** when every member of the new configuration was up and running *)
+  leader_changes : int;
+  decided : int;
+}
+
+module Omni : sig
+  val run : params -> result
+end
+
+module Raft_runner : sig
+  val run : params -> result
+end

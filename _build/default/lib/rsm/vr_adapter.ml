@@ -1,0 +1,49 @@
+(* VR leader election (+ Sequence Paxos log) behind the uniform protocol
+   interface. *)
+
+module N = Vr.Node
+
+type t = {
+  node : N.t;
+  cache : Protocol.Decided_cache.t;
+  mutable scanned : int;
+}
+
+type msg = N.msg
+
+let name = "VR"
+
+let scan t upto =
+  let entries =
+    Omnipaxos.Sequence_paxos.read_decided (N.sequence_paxos t.node)
+      ~from:t.scanned
+  in
+  List.iter
+    (function
+      | Omnipaxos.Entry.Cmd c ->
+          if c.Replog.Command.id >= 0 then
+            Protocol.Decided_cache.note t.cache c.Replog.Command.id
+      | Omnipaxos.Entry.Stop_sign _ -> ())
+    entries;
+  t.scanned <- upto
+
+let create ~id ~peers ~election_ticks ~rand ~send () =
+  ignore rand;
+  let cache = Protocol.Decided_cache.create () in
+  let t_ref = ref None in
+  let on_decide upto = match !t_ref with Some t -> scan t upto | None -> () in
+  let node = N.create ~id ~peers ~election_ticks ~send ~on_decide () in
+  let t = { node; cache; scanned = 0 } in
+  t_ref := Some t;
+  t
+
+let handle t ~src msg = N.handle t.node ~src msg
+let tick t = N.tick t.node
+let session_reset t ~peer = N.session_reset t.node ~peer
+let propose t cmd = N.propose t.node (Omnipaxos.Entry.Cmd cmd)
+let is_leader t = N.is_leader t.node
+let leader_pid t = N.leader_pid t.node
+let decided_count t = Protocol.Decided_cache.count t.cache
+let decided_ids t ~from = Protocol.Decided_cache.ids_from t.cache ~from
+let msg_size = N.msg_size
+let node t = t.node

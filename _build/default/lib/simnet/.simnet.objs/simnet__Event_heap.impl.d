@@ -1,0 +1,1 @@
+lib/simnet/event_heap.ml: Array

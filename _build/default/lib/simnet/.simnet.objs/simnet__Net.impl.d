@@ -1,0 +1,1 @@
+lib/simnet/net.ml: Array Event_heap Float List Printf Queue Random

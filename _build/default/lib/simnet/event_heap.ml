@@ -1,0 +1,74 @@
+(* A binary min-heap of timed events, tie-broken by insertion sequence so that
+   simulations are fully deterministic. *)
+
+type 'a entry = { time : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let cap = Array.length t.data in
+  let new_cap = if cap = 0 then 16 else cap * 2 in
+  (* The placeholder slot is only read after being overwritten. *)
+  let data = Array.make new_cap t.data.(0) in
+  Array.blit t.data 0 data 0 t.size;
+  t.data <- data
+
+let push t ~time payload =
+  let entry = { time; seq = t.next_seq; payload } in
+  t.next_seq <- t.next_seq + 1;
+  if t.size = 0 && Array.length t.data = 0 then t.data <- Array.make 16 entry;
+  if t.size = Array.length t.data then grow t;
+  t.data.(t.size) <- entry;
+  t.size <- t.size + 1;
+  (* Sift up. *)
+  let rec up i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if before t.data.(i) t.data.(parent) then begin
+        let tmp = t.data.(i) in
+        t.data.(i) <- t.data.(parent);
+        t.data.(parent) <- tmp;
+        up parent
+      end
+    end
+  in
+  up (t.size - 1)
+
+let peek_time t = if t.size = 0 then None else Some t.data.(0).time
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      let rec down i =
+        let l = (2 * i) + 1 and r = (2 * i) + 2 in
+        let smallest = ref i in
+        if l < t.size && before t.data.(l) t.data.(!smallest) then smallest := l;
+        if r < t.size && before t.data.(r) t.data.(!smallest) then smallest := r;
+        if !smallest <> i then begin
+          let tmp = t.data.(i) in
+          t.data.(i) <- t.data.(!smallest);
+          t.data.(!smallest) <- tmp;
+          down !smallest
+        end
+      in
+      down 0
+    end;
+    Some (top.time, top.payload)
+  end
+
+let clear t = t.size <- 0

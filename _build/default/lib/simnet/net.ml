@@ -1,0 +1,294 @@
+(* A message waiting in (or being drained from) a sender's egress queue. *)
+type 'm pending = {
+  p_dst : int;
+  p_msg : 'm;
+  p_session : int;
+  mutable p_remaining : int;
+}
+
+type 'm event =
+  | Deliver of { src : int; dst : int; session : int; msg : 'm }
+  | Timer of (unit -> unit)
+  | Session_reset of { node : int; peer : int; session : int }
+  | Egress_step of { src : int; gen : int; completed : 'm pending option }
+
+type 'm t = {
+  n : int;
+  rng : Random.State.t;
+  events : 'm event Event_heap.t;
+  mutable clock : float;
+  (* Topology. [up.(a).(b)] is the a->b direction. *)
+  up : bool array array;
+  latency : float array array;
+  (* Session number per unordered pair, stored in both cells. *)
+  session : int array array;
+  node_up : bool array;
+  (* Egress model: each node's outgoing bytes drain at [egress_bw] bytes/ms,
+     shared across destinations by round-robin in chunks of [egress_chunk]
+     bytes — one large transfer therefore delays, but does not starve, the
+     sender's other traffic (TCP flows interleave at packet granularity). *)
+  egress_bw : float;
+  egress_chunk : int;
+  egress_queues : 'm pending Queue.t array array;  (* per src, per dst *)
+  egress_busy : bool array;
+  egress_rr : int array;  (* next destination to serve, per src *)
+  egress_gen : int array;  (* bumped on crash to cancel stale pump chains *)
+  (* Per (src, dst) pair: last scheduled delivery time, to enforce FIFO even
+     if latency changes between sends. *)
+  last_delivery : float array array;
+  handlers : (src:int -> 'm -> unit) option array;
+  session_handlers : (peer:int -> unit) option array;
+  sent_bytes : int array;
+  sent_bytes_to : int array array;
+  sent_msgs : int array;
+  mutable delivered : int;
+}
+
+let create ?(seed = 42) ?(latency = 0.1) ?(egress_bw = infinity)
+    ?(egress_chunk = 4096) ~num_nodes () =
+  let n = num_nodes in
+  {
+    n;
+    rng = Random.State.make [| seed |];
+    events = Event_heap.create ();
+    clock = 0.0;
+    up = Array.make_matrix n n true;
+    latency = Array.make_matrix n n latency;
+    session = Array.make_matrix n n 0;
+    node_up = Array.make n true;
+    egress_bw;
+    egress_chunk;
+    egress_queues =
+      Array.init n (fun _ -> Array.init n (fun _ -> Queue.create ()));
+    egress_busy = Array.make n false;
+    egress_rr = Array.make n 0;
+    egress_gen = Array.make n 0;
+    last_delivery = Array.make_matrix n n 0.0;
+    handlers = Array.make n None;
+    session_handlers = Array.make n None;
+    sent_bytes = Array.make n 0;
+    sent_bytes_to = Array.make_matrix n n 0;
+    sent_msgs = Array.make n 0;
+    delivered = 0;
+  }
+
+let now t = t.clock
+let num_nodes t = t.n
+let rng t = t.rng
+
+let check_node t i =
+  if i < 0 || i >= t.n then invalid_arg (Printf.sprintf "Net: node %d" i)
+
+let set_handler t i f =
+  check_node t i;
+  t.handlers.(i) <- Some f
+
+let set_session_handler t i f =
+  check_node t i;
+  t.session_handlers.(i) <- Some f
+
+let schedule t ~delay f =
+  if delay < 0.0 then invalid_arg "Net.schedule: negative delay";
+  Event_heap.push t.events ~time:(t.clock +. delay) (Timer f)
+
+let pair_connected t a b = t.up.(a).(b) && t.up.(b).(a)
+
+let schedule_delivery t ~src ~dst ~session msg =
+  let arrival = t.clock +. t.latency.(src).(dst) in
+  let arrival = Float.max arrival t.last_delivery.(src).(dst) in
+  t.last_delivery.(src).(dst) <- arrival;
+  Event_heap.push t.events ~time:arrival (Deliver { src; dst; session; msg })
+
+(* Transmit the next chunk of the round-robin schedule. Must be called with
+   the sender idle at the current clock. *)
+let pump_egress t src =
+  let queues = t.egress_queues.(src) in
+  let rec find i tries =
+    if tries = t.n then None
+    else if not (Queue.is_empty queues.(i)) then Some i
+    else find ((i + 1) mod t.n) (tries + 1)
+  in
+  match find t.egress_rr.(src) 0 with
+  | None -> t.egress_busy.(src) <- false
+  | Some d ->
+      let item = Queue.peek queues.(d) in
+      let chunk = min t.egress_chunk (max 1 item.p_remaining) in
+      (* Bytes are accounted when they leave the NIC, so windowed egress
+         readings are physical. *)
+      t.sent_bytes.(src) <- t.sent_bytes.(src) + chunk;
+      t.sent_bytes_to.(src).(d) <- t.sent_bytes_to.(src).(d) + chunk;
+      item.p_remaining <- item.p_remaining - chunk;
+      let completed =
+        if item.p_remaining <= 0 then Some (Queue.pop queues.(d)) else None
+      in
+      t.egress_rr.(src) <- (d + 1) mod t.n;
+      t.egress_busy.(src) <- true;
+      let tx = float_of_int chunk /. t.egress_bw in
+      Event_heap.push t.events ~time:(t.clock +. tx)
+        (Egress_step { src; gen = t.egress_gen.(src); completed })
+
+let send t ~src ~dst ~size msg =
+  check_node t src;
+  check_node t dst;
+  if size < 0 then invalid_arg "Net.send: negative size";
+  if src = dst then invalid_arg "Net.send: src = dst";
+  if t.node_up.(src) && t.up.(src).(dst) then begin
+    t.sent_msgs.(src) <- t.sent_msgs.(src) + 1;
+    let session = t.session.(src).(dst) in
+    if t.egress_bw = infinity then begin
+      t.sent_bytes.(src) <- t.sent_bytes.(src) + size;
+      t.sent_bytes_to.(src).(dst) <- t.sent_bytes_to.(src).(dst) + size;
+      schedule_delivery t ~src ~dst ~session msg
+    end
+    else begin
+      Queue.add
+        { p_dst = dst; p_msg = msg; p_session = session; p_remaining = size }
+        t.egress_queues.(src).(dst);
+      if not t.egress_busy.(src) then pump_egress t src
+    end
+  end
+
+let bump_session t a b =
+  let s = t.session.(a).(b) + 1 in
+  t.session.(a).(b) <- s;
+  t.session.(b).(a) <- s;
+  (* Notify both endpoints once the (zero-latency) reconnection completes.
+     Delivered as events so handlers run in timestamp order. *)
+  let notify node peer =
+    Event_heap.push t.events ~time:t.clock
+      (Session_reset { node; peer; session = s })
+  in
+  notify a b;
+  notify b a
+
+let set_link_oneway t ~src ~dst up =
+  check_node t src;
+  check_node t dst;
+  let was_connected = pair_connected t src dst in
+  t.up.(src).(dst) <- up;
+  if (not was_connected) && pair_connected t src dst then bump_session t src dst
+
+let set_link t a b up =
+  check_node t a;
+  check_node t b;
+  let was_connected = pair_connected t a b in
+  t.up.(a).(b) <- up;
+  t.up.(b).(a) <- up;
+  if (not was_connected) && pair_connected t a b then bump_session t a b
+
+let link_up t a b =
+  check_node t a;
+  check_node t b;
+  t.up.(a).(b)
+
+let set_latency t a b l =
+  check_node t a;
+  check_node t b;
+  if l < 0.0 then invalid_arg "Net.set_latency: negative";
+  t.latency.(a).(b) <- l;
+  t.latency.(b).(a) <- l
+
+let partition t group1 group2 =
+  List.iter (fun a -> List.iter (fun b -> set_link t a b false) group2) group1
+
+let heal_all t =
+  for a = 0 to t.n - 1 do
+    for b = a + 1 to t.n - 1 do
+      set_link t a b true
+    done
+  done
+
+let isolate t i =
+  check_node t i;
+  for j = 0 to t.n - 1 do
+    if j <> i then set_link t i j false
+  done
+
+let crash t i =
+  check_node t i;
+  t.node_up.(i) <- false;
+  t.handlers.(i) <- None;
+  t.session_handlers.(i) <- None;
+  (* Unsent egress data is lost with the process. *)
+  Array.iter Queue.clear t.egress_queues.(i);
+  t.egress_busy.(i) <- false;
+  t.egress_gen.(i) <- t.egress_gen.(i) + 1
+
+let recover t i =
+  check_node t i;
+  t.node_up.(i) <- true;
+  (* Transport connections did not survive: bump the session with every
+     currently-reachable peer so both sides observe a reconnection. *)
+  for j = 0 to t.n - 1 do
+    if j <> i && t.node_up.(j) && pair_connected t i j then bump_session t i j
+  done
+
+let is_up t i =
+  check_node t i;
+  t.node_up.(i)
+
+let dispatch t event =
+  match event with
+  | Timer f -> f ()
+  | Deliver { src; dst; session; msg } ->
+      if
+        t.node_up.(dst) && t.node_up.(src) && t.up.(src).(dst)
+        && session = t.session.(src).(dst)
+      then begin
+        match t.handlers.(dst) with
+        | Some h ->
+            t.delivered <- t.delivered + 1;
+            h ~src msg
+        | None -> ()
+      end
+  | Session_reset { node; peer; session } ->
+      if t.node_up.(node) && session = t.session.(node).(peer) then begin
+        match t.session_handlers.(node) with
+        | Some h -> h ~peer
+        | None -> ()
+      end
+  | Egress_step { src; gen; completed } ->
+      if gen = t.egress_gen.(src) then begin
+        (match completed with
+        | Some item ->
+            schedule_delivery t ~src ~dst:item.p_dst ~session:item.p_session
+              item.p_msg
+        | None -> ());
+        pump_egress t src
+      end
+
+let step t =
+  match Event_heap.pop t.events with
+  | None -> false
+  | Some (time, event) ->
+      t.clock <- Float.max t.clock time;
+      dispatch t event;
+      true
+
+let run_until t deadline =
+  let continue = ref true in
+  while !continue do
+    match Event_heap.peek_time t.events with
+    | Some time when time <= deadline -> ignore (step t)
+    | Some _ | None -> continue := false
+  done;
+  t.clock <- Float.max t.clock deadline
+
+let run_for t d = run_until t (t.clock +. d)
+
+let drain t = while step t do () done
+
+let bytes_sent t i =
+  check_node t i;
+  t.sent_bytes.(i)
+
+let bytes_sent_to t ~src ~dst =
+  check_node t src;
+  check_node t dst;
+  t.sent_bytes_to.(src).(dst)
+
+let messages_sent t i =
+  check_node t i;
+  t.sent_msgs.(i)
+
+let messages_delivered t = t.delivered

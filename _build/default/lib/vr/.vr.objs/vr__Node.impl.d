@@ -1,0 +1,1 @@
+lib/vr/node.ml: Hashtbl List Omnipaxos

@@ -1,0 +1,1 @@
+lib/vr/node.mli: Omnipaxos

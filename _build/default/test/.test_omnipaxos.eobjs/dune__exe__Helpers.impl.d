@@ -1,0 +1,1 @@
+test/helpers.ml: Array List Omnipaxos Option Replog Simnet

@@ -1,0 +1,1 @@
+test/test_ble.ml: Alcotest Array Fun Gen List Omnipaxos Option QCheck QCheck_alcotest Queue

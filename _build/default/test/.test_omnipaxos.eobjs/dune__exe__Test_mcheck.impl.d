@@ -1,0 +1,1 @@
+test/test_mcheck.ml: Alcotest Explore List Mcheck Spec

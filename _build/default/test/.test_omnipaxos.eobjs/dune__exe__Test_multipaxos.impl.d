@@ -1,0 +1,1 @@
+test/test_multipaxos.ml: Alcotest List Multipaxos Option Replog Rsm Simnet

@@ -1,0 +1,1 @@
+test/test_multipaxos_unit.ml: Alcotest List Multipaxos Random Replog

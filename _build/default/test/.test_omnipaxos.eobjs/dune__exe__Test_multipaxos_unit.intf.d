@@ -1,0 +1,1 @@
+test/test_multipaxos_unit.mli:

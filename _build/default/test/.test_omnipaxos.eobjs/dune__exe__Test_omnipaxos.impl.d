@@ -1,0 +1,1 @@
+test/test_omnipaxos.ml: Alcotest Helpers List Omnipaxos Option Printf Replog Simnet

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Fun Gen Hashtbl Helpers List Omnipaxos QCheck QCheck_alcotest Replog Rsm Simnet

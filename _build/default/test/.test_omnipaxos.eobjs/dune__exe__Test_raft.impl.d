@@ -1,0 +1,1 @@
+test/test_raft.ml: Alcotest List Option Raft Replog Rsm Simnet

@@ -1,0 +1,1 @@
+test/test_raft_unit.ml: Alcotest List Raft Random Replog

@@ -1,0 +1,1 @@
+test/test_reconfig.ml: Alcotest Array List Option Rsm

@@ -1,0 +1,1 @@
+test/test_replog.ml: Alcotest Gen List QCheck QCheck_alcotest Replog

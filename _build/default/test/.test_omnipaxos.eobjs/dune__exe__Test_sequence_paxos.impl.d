@@ -1,0 +1,1 @@
+test/test_sequence_paxos.ml: Alcotest Array Fun Hashtbl List Omnipaxos QCheck QCheck_alcotest Queue Replog

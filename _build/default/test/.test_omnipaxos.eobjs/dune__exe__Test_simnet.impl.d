@@ -1,0 +1,1 @@
+test/test_simnet.ml: Alcotest Fun List Option QCheck QCheck_alcotest Random Simnet

@@ -1,0 +1,1 @@
+test/test_vr.ml: Alcotest List Option Replog Rsm Simnet Vr

@@ -1,0 +1,93 @@
+(* Tests for the evaluation harness itself: the cluster driver's leader
+   selection, the closed-loop client's flow control and retry logic, and
+   the scenario helpers. *)
+
+module Net = Simnet.Net
+module C = Rsm.Cluster.Make (Rsm.Omni_adapter)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let cfg ?(n = 3) () = { Rsm.Cluster.default_config with n; seed = 3 }
+
+let test_client_keeps_cp_outstanding () =
+  let c = C.create (cfg ()) in
+  let client = C.start_client c ~cp:100 in
+  C.run_ms c 2000.0;
+  Rsm.Client.stop client;
+  let decided = Rsm.Client.decided client in
+  check "client drove a sustained load" true (decided > 1000);
+  (* Flow control: the decided count can never exceed what cp allows given
+     at least one tick of turnaround per batch. *)
+  check "bounded by cp per poll" true
+    (decided <= 100 * int_of_float (2000.0 /. 5.0))
+
+let test_client_retries_after_leader_loss () =
+  let c = C.create (cfg ~n:5 ()) in
+  let client = C.start_client c ~cp:50 in
+  C.run_ms c 1000.0;
+  let leader = Option.get (C.leader c) in
+  let before = Rsm.Client.decided client in
+  Net.crash (C.net c) leader;
+  (* The in-flight proposals at the dead leader are lost; the client must
+     abandon and re-propose once a new leader emerges. *)
+  C.run_ms c 3000.0;
+  Rsm.Client.stop client;
+  check "progress resumed after the leader died" true
+    (Rsm.Client.decided client > before);
+  check "client observed the leader change" true
+    (Rsm.Client.leader_changes client >= 1)
+
+let test_leader_pick_prefers_progress () =
+  (* During a chained partition two servers can claim leadership; the driver
+     must route the client to the one actually deciding. *)
+  let c = C.create (cfg ()) in
+  let client = C.start_client c ~cp:50 in
+  C.run_ms c 1000.0;
+  let l0 = Option.get (C.leader c) in
+  let other = if l0 = 0 then 1 else 0 in
+  Rsm.Scenario.chained (C.net c) ~a:l0 ~b:other;
+  C.run_ms c 2000.0;
+  let picked = Option.get (C.leader c) in
+  let before = C.max_decided c in
+  C.run_ms c 1000.0;
+  Rsm.Client.stop client;
+  check "picked leader is making progress" true (C.max_decided c > before);
+  check_int "picked the takeover leader" other picked
+
+let test_scenarios_cut_expected_links () =
+  let net : unit Net.t = Net.create ~num_nodes:5 () in
+  Rsm.Scenario.quorum_loss net ~hub:2;
+  check "hub links stay up" true
+    (List.for_all (fun j -> j = 2 || Net.link_up net 2 j) [ 0; 1; 2; 3; 4 ]);
+  check "non-hub links are down" true
+    (not (Net.link_up net 0 1) && not (Net.link_up net 3 4));
+  Rsm.Scenario.heal net;
+  check "heal restores" true (Net.link_up net 0 1);
+  Rsm.Scenario.chain_of net ~order:[ 4; 3; 2; 1; 0 ];
+  check "consecutive up" true (Net.link_up net 4 3 && Net.link_up net 1 0);
+  check "non-consecutive down" true
+    ((not (Net.link_up net 4 2)) && not (Net.link_up net 3 0));
+  Rsm.Scenario.heal net;
+  Rsm.Scenario.constrained net ~qc:1 ~leader:4;
+  check "leader isolated" true
+    (List.for_all (fun j -> j = 4 || not (Net.link_up net 4 j)) [ 0; 1; 2; 3 ]);
+  check "qc keeps its other links" true
+    (Net.link_up net 1 0 && Net.link_up net 1 2 && Net.link_up net 1 3);
+  check "others only reach qc" true (not (Net.link_up net 0 2))
+
+let () =
+  Alcotest.run "cluster"
+    [
+      ( "harness",
+        [
+          Alcotest.test_case "client flow control" `Quick
+            test_client_keeps_cp_outstanding;
+          Alcotest.test_case "client retry on leader loss" `Quick
+            test_client_retries_after_leader_loss;
+          Alcotest.test_case "leader pick prefers progress" `Quick
+            test_leader_pick_prefers_progress;
+          Alcotest.test_case "scenario link matrices" `Quick
+            test_scenarios_cut_expected_links;
+        ] );
+    ]

@@ -1,0 +1,66 @@
+(* Unit tests for the measurement utilities: the decided-count series (the
+   source of every down-time and throughput figure) and the t-distribution
+   statistics. *)
+
+module Series = Rsm.Metrics.Series
+module Stats = Rsm.Metrics.Stats
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let checkf msg a b = Alcotest.(check (float 1e-6)) msg a b
+
+let series points =
+  let s = Series.create () in
+  List.iter (fun (time, count) -> Series.push s ~time ~count) points;
+  s
+
+let test_count_at () =
+  let s = series [ (0.0, 0); (10.0, 5); (20.0, 9) ] in
+  check_int "before first sample" 0 (Series.count_at s (-1.0));
+  check_int "at a sample" 5 (Series.count_at s 10.0);
+  check_int "between samples" 5 (Series.count_at s 15.0);
+  check_int "after last" 9 (Series.count_at s 100.0)
+
+let test_total_between () =
+  let s = series [ (0.0, 0); (10.0, 5); (20.0, 9); (30.0, 9) ] in
+  check_int "full range" 9 (Series.total_between s ~from:0.0 ~until:30.0);
+  check_int "partial" 4 (Series.total_between s ~from:10.0 ~until:25.0);
+  check_int "flat tail" 0 (Series.total_between s ~from:20.0 ~until:30.0)
+
+let test_longest_gap () =
+  (* Progress at 10 and 60; nothing in between: the gap is 50. *)
+  let s =
+    series [ (0.0, 0); (10.0, 5); (20.0, 5); (40.0, 5); (60.0, 8); (70.0, 9) ]
+  in
+  checkf "mid-run gap" 50.0 (Series.longest_gap s ~from:0.0 ~until:70.0);
+  (* A series that stops progressing: the gap extends to the window end. *)
+  let s2 = series [ (0.0, 0); (10.0, 5) ] in
+  checkf "trailing gap" 90.0 (Series.longest_gap s2 ~from:0.0 ~until:100.0)
+
+let test_windowed () =
+  let s = series [ (0.0, 0); (5.0, 2); (15.0, 6); (25.0, 7) ] in
+  let w = Series.windowed s ~from:0.0 ~until:30.0 ~window:10.0 in
+  check "three windows" true (List.map snd w = [ 2; 4; 1 ])
+
+let test_stats () =
+  checkf "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  checkf "stddev" 1.0 (Stats.stddev [ 1.0; 2.0; 3.0 ]);
+  check "single sample has no CI" true (Stats.ci95 [ 42.0 ] = 0.0);
+  (* df = 2 -> t = 4.303; ci = t * s / sqrt 3. *)
+  let ci = Stats.ci95 [ 1.0; 2.0; 3.0 ] in
+  checkf "t-based ci" (4.303 /. sqrt 3.0) ci;
+  check "normal approximation beyond df 30" true
+    (abs_float (Stats.t_value ~df:100 -. 1.96) < 1e-9)
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ( "series",
+        [
+          Alcotest.test_case "count_at" `Quick test_count_at;
+          Alcotest.test_case "total_between" `Quick test_total_between;
+          Alcotest.test_case "longest_gap" `Quick test_longest_gap;
+          Alcotest.test_case "windowed" `Quick test_windowed;
+        ] );
+      ("stats", [ Alcotest.test_case "mean/stddev/ci" `Quick test_stats ]);
+    ]

@@ -1,0 +1,165 @@
+(* Handler-level Multi-Paxos unit tests: scout/phase-1 adoption with no-op
+   gap filling, the decided-watermark learner path and its catch-up
+   fallback, preemption behaviour, and P1b reporting of trimmed decided
+   slots. *)
+
+module N = Multipaxos.Node
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+type harness = { node : N.t; sent : (int * N.msg) list ref }
+
+let make ?(id = 0) () =
+  let sent = ref [] in
+  let peers = List.filter (fun j -> j <> id) [ 0; 1; 2 ] in
+  let node =
+    N.create ~id ~peers ~election_ticks:10
+      ~rand:(Random.State.make [| 1 |])
+      ~send:(fun ~dst m -> sent := (dst, m) :: !sent)
+      ()
+  in
+  { node; sent }
+
+let cmd i = Replog.Command.noop i
+let b n pid : N.ballot = { N.n; pid }
+
+(* Drive the node until it scouts, then grant it a quorum. *)
+let activate h =
+  let tries = ref 0 in
+  while N.state h.node <> N.Scouting && !tries < 100 do
+    N.tick h.node;
+    incr tries
+  done;
+  check "scouting" true (N.state h.node = N.Scouting);
+  let ballot = N.current_ballot h.node in
+  N.handle h.node ~src:1 (N.P1b { b = ballot; accepted = [] });
+  check "active" true (N.is_leader h.node);
+  h.sent := []
+
+let test_scout_adopts_and_fills_gaps () =
+  let h = make () in
+  let tries = ref 0 in
+  while N.state h.node <> N.Scouting && !tries < 100 do
+    N.tick h.node;
+    incr tries
+  done;
+  let ballot = N.current_ballot h.node in
+  (* The promise reports an accepted value at slot 2 only: slots 0 and 1
+     must be filled with internal no-ops before slot 2 re-decides. *)
+  N.handle h.node ~src:1
+    (N.P1b { b = ballot; accepted = [ (2, b 1 9, cmd 42) ] });
+  check "active after quorum" true (N.is_leader h.node);
+  (* Confirm the re-proposals: the peer accepts everything. *)
+  let p2as =
+    List.filter_map
+      (function
+        | _, N.P2a { start_slot; cmds; _ } when cmds <> [] ->
+            Some (start_slot, List.length cmds)
+        | _ -> None)
+      !(h.sent)
+  in
+  check "re-proposed from slot 0" true (List.mem (0, 3) p2as);
+  N.handle h.node ~src:1 (N.P2b { b = N.current_ballot h.node; start_slot = 0; count = 3 });
+  check_int "three slots decided" 3 (N.decided_length h.node);
+  let decided = Replog.Log.to_list (N.decided_log h.node) in
+  check "gap slots are internal no-ops, adopted value kept" true
+    (match decided with
+    | [ a; bb; c ] ->
+        a.Replog.Command.id < 0 && bb.Replog.Command.id < 0
+        && c.Replog.Command.id = 42
+    | _ -> false)
+
+let test_watermark_promotes_accepted () =
+  let h = make ~id:2 () in
+  (* Act as an acceptor/learner: accept two slots from an active leader,
+     then receive its watermark. *)
+  N.handle h.node ~src:0
+    (N.P2a { b = b 5 0; start_slot = 0; cmds = [ cmd 1; cmd 2 ] });
+  check_int "nothing decided yet" 0 (N.decided_length h.node);
+  N.handle h.node ~src:0 (N.Decided_watermark { b = b 5 0; upto = 2 });
+  check_int "watermark promoted both slots" 2 (N.decided_length h.node)
+
+let test_watermark_mismatch_requests_catchup () =
+  let h = make ~id:2 () in
+  (* Accepted under an older ballot than the watermark's: must not promote
+     blindly; ask the leader for the decided values. *)
+  N.handle h.node ~src:0
+    (N.P2a { b = b 3 0; start_slot = 0; cmds = [ cmd 1 ] });
+  N.handle h.node ~src:1 (N.Decided_watermark { b = b 7 1; upto = 1 });
+  check_int "not promoted" 0 (N.decided_length h.node);
+  check "catch-up requested" true
+    (List.exists
+       (function 1, N.Decision_req { from = 0 } -> true | _ -> false)
+       !(h.sent));
+  (* The full Decision resolves it. *)
+  N.handle h.node ~src:1 (N.Decision { start_slot = 0; cmds = [ cmd 9 ] });
+  check_int "caught up" 1 (N.decided_length h.node)
+
+let test_preempted_steps_down_and_retries () =
+  let h = make () in
+  activate h;
+  let old = N.current_ballot h.node in
+  N.handle h.node ~src:2 (N.Preempted { b = b (old.N.n + 3) 2 });
+  check "deposed" true (not (N.is_leader h.node));
+  (* After the backoff it retries with a ballot above everything seen. *)
+  for _ = 1 to 25 do
+    N.tick h.node
+  done;
+  check "rescouting" true (N.state h.node = N.Scouting || N.is_leader h.node);
+  check "new ballot outranks the preemptor" true
+    ((N.current_ballot h.node).N.n > old.N.n + 3)
+
+let test_p1a_lower_ballot_preempted () =
+  let h = make ~id:2 () in
+  N.handle h.node ~src:0 (N.P1a { b = b 5 0; from_slot = 0 });
+  h.sent := [];
+  N.handle h.node ~src:1 (N.P1a { b = b 4 1; from_slot = 0 });
+  check "lower scout preempted with the promised ballot" true
+    (List.exists
+       (function 1, N.Preempted { b = bb } -> bb = b 5 0 | _ -> false)
+       !(h.sent))
+
+let test_p1b_reports_trimmed_decided_slots () =
+  let h = make ~id:2 () in
+  (* Decide two slots via watermark, which trims the acceptor bookkeeping. *)
+  N.handle h.node ~src:0
+    (N.P2a { b = b 5 0; start_slot = 0; cmds = [ cmd 1; cmd 2 ] });
+  N.handle h.node ~src:0 (N.Decided_watermark { b = b 5 0; upto = 2 });
+  h.sent := [];
+  (* A scout starting from slot 0 must still learn those values. *)
+  N.handle h.node ~src:1 (N.P1a { b = b 9 1; from_slot = 0 });
+  let reported =
+    List.find_map
+      (function _, N.P1b { accepted; _ } -> Some accepted | _ -> None)
+      !(h.sent)
+  in
+  match reported with
+  | Some acc ->
+      check_int "both decided slots reported" 2 (List.length acc);
+      check "with a winning sentinel ballot" true
+        (List.for_all (fun (_, (bb : N.ballot), _) -> bb.N.n = max_int) acc)
+  | None -> Alcotest.fail "no P1b sent"
+
+let () =
+  Alcotest.run "multipaxos_unit"
+    [
+      ( "proposer",
+        [
+          Alcotest.test_case "scout adopts and fills gaps" `Quick
+            test_scout_adopts_and_fills_gaps;
+          Alcotest.test_case "preempted steps down and retries" `Quick
+            test_preempted_steps_down_and_retries;
+          Alcotest.test_case "lower-ballot scout preempted" `Quick
+            test_p1a_lower_ballot_preempted;
+        ] );
+      ( "learner",
+        [
+          Alcotest.test_case "watermark promotes" `Quick
+            test_watermark_promotes_accepted;
+          Alcotest.test_case "watermark mismatch catch-up" `Quick
+            test_watermark_mismatch_requests_catchup;
+          Alcotest.test_case "P1b reports trimmed decided" `Quick
+            test_p1b_reports_trimmed_decided_slots;
+        ] );
+    ]

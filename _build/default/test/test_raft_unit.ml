@@ -1,0 +1,213 @@
+(* Handler-level Raft unit tests: vote-granting rules, the current-term
+   commit restriction, log matching and conflict truncation, PreVote's
+   non-disruption, and CheckQuorum step-down. Messages are fed directly to
+   a single node; its outgoing messages are collected for inspection. *)
+
+module N = Raft.Node
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+type harness = { node : N.t; sent : (int * N.msg) list ref }
+
+let make ?(voters = [ 0; 1; 2 ]) ?pre_vote ?check_quorum ?prepare () =
+  let sent = ref [] in
+  let persistent = N.fresh_persistent () in
+  (match prepare with Some f -> f persistent | None -> ());
+  let node =
+    N.create ~id:0 ~voters ?pre_vote ?check_quorum ~election_ticks:10
+      ~rand:(Random.State.make [| 1 |])
+      ~persistent
+      ~send:(fun ~dst m -> sent := (dst, m) :: !sent)
+      ()
+  in
+  { node; sent }
+
+let entry term id = { N.term; data = N.Cmd (Replog.Command.noop id) }
+
+let last_vote h =
+  List.find_map
+    (function dst, N.Vote { granted; _ } -> Some (dst, granted) | _ -> None)
+    !(h.sent)
+
+let request_vote ?(pre = false) ~term ~last_log_idx ~last_log_term src h =
+  N.handle h.node ~src
+    (N.Request_vote { term; last_log_idx; last_log_term; pre_vote = pre })
+
+let test_vote_granted_once_per_term () =
+  let h = make () in
+  request_vote ~term:1 ~last_log_idx:0 ~last_log_term:0 1 h;
+  check "first candidate granted" true (last_vote h = Some (1, true));
+  h.sent := [];
+  request_vote ~term:1 ~last_log_idx:0 ~last_log_term:0 2 h;
+  check "second candidate same term rejected" true
+    (last_vote h = Some (2, false));
+  h.sent := [];
+  (* The same candidate asking again is re-granted (idempotent). *)
+  request_vote ~term:1 ~last_log_idx:0 ~last_log_term:0 1 h;
+  check "same candidate re-granted" true (last_vote h = Some (1, true))
+
+let test_vote_log_up_to_date () =
+  let prepare (p : N.persistent) =
+    Replog.Log.append_list p.N.log [ entry 1 0; entry 2 1 ]
+  in
+  let h = make ~prepare () in
+  request_vote ~term:3 ~last_log_idx:5 ~last_log_term:1 1 h;
+  check "lower last term rejected despite longer log" true
+    (last_vote h = Some (1, false));
+  h.sent := [];
+  request_vote ~term:3 ~last_log_idx:1 ~last_log_term:2 2 h;
+  check "same term shorter log rejected" true (last_vote h = Some (2, false));
+  h.sent := [];
+  request_vote ~term:4 ~last_log_idx:2 ~last_log_term:2 2 h;
+  check "same term equal length granted" true (last_vote h = Some (2, true))
+
+let become_leader h =
+  (* Time out, then win the election. *)
+  for _ = 1 to 25 do
+    N.tick h.node
+  done;
+  let term = N.current_term h.node in
+  N.handle h.node ~src:1 (N.Vote { term; granted = true; pre_vote = false });
+  check "is leader" true (N.is_leader h.node);
+  h.sent := []
+
+(* The commit rule: entries from previous terms are only committed once an
+   entry of the current term reaches a quorum (Raft §5.4.2). *)
+let test_commit_rule_current_term_only () =
+  let prepare (p : N.persistent) =
+    p.N.term <- 1;
+    Replog.Log.append_list p.N.log [ entry 1 0; entry 1 1 ]
+  in
+  let h = make ~prepare () in
+  become_leader h;
+  (* A follower confirms the old-term entries: still nothing commits. *)
+  N.handle h.node ~src:1
+    (N.Append_resp { term = N.current_term h.node; success = true; match_idx = 2 });
+  check_int "old-term entries not committed alone" 0 (N.commit_idx h.node);
+  (* A current-term entry reaches the same quorum: everything commits. *)
+  ignore (N.propose h.node (Replog.Command.noop 2));
+  N.handle h.node ~src:1
+    (N.Append_resp { term = N.current_term h.node; success = true; match_idx = 3 });
+  check_int "commits through the current-term entry" 3 (N.commit_idx h.node)
+
+let test_append_entries_conflict_truncation () =
+  let prepare (p : N.persistent) =
+    p.N.term <- 2;
+    Replog.Log.append_list p.N.log [ entry 1 0; entry 1 1; entry 1 2 ]
+  in
+  let h = make ~prepare () in
+  (* A leader of term 3 overwrites entries 1.. with term-3 entries. *)
+  N.handle h.node ~src:1
+    (N.Append_entries
+       {
+         term = 3;
+         prev_idx = 0;
+         prev_term = 1;
+         entries = [ entry 3 7; entry 3 8 ];
+         commit_idx = 0;
+       });
+  check_int "conflicting tail truncated and replaced" 3
+    (N.log_length h.node);
+  let committed =
+    N.handle h.node ~src:1
+      (N.Append_entries
+         { term = 3; prev_idx = 2; prev_term = 3; entries = []; commit_idx = 3 });
+    N.commit_idx h.node
+  in
+  check_int "commit follows the leader" 3 committed
+
+let test_append_gap_hint () =
+  let h = make () in
+  N.handle h.node ~src:1
+    (N.Append_entries
+       { term = 1; prev_idx = 4; prev_term = 1; entries = [ entry 1 9 ]; commit_idx = 0 });
+  let hint =
+    List.find_map
+      (function
+        | _, N.Append_resp { success = false; match_idx; _ } -> Some match_idx
+        | _ -> None)
+      !(h.sent)
+  in
+  check "gap rejected with the follower's length as hint" true (hint = Some 0)
+
+let test_pre_vote_does_not_bump_term () =
+  let h = make () in
+  request_vote ~pre:true ~term:5 ~last_log_idx:0 ~last_log_term:0 1 h;
+  check_int "term untouched by a pre-vote" 0 (N.current_term h.node);
+  (* And a pre-vote is only granted when our election timer has expired. *)
+  let granted =
+    List.find_map
+      (function _, N.Vote { granted; pre_vote = true; _ } -> Some granted | _ -> None)
+      !(h.sent)
+  in
+  check "pre-vote refused while we hear a leader" true (granted = Some false)
+
+let test_check_quorum_steps_down () =
+  let h = make ~check_quorum:true () in
+  become_leader h;
+  (* No AppendResp ever arrives: after one election timeout the leader
+     abdicates. *)
+  for _ = 1 to 11 do
+    N.tick h.node
+  done;
+  check "stepped down without a quorum of responses" true
+    (not (N.is_leader h.node))
+
+let test_higher_term_deposes_leader () =
+  let h = make () in
+  become_leader h;
+  let term = N.current_term h.node in
+  N.handle h.node ~src:2
+    (N.Append_resp { term = term + 5; success = false; match_idx = 0 });
+  check "deposed by a higher-term response" true (not (N.is_leader h.node));
+  check_int "term adopted" (term + 5) (N.current_term h.node)
+
+let test_learner_promotion_via_config () =
+  let h = make () in
+  become_leader h;
+  ignore (N.propose h.node (Replog.Command.noop 0));
+  N.add_learners h.node [ 5 ];
+  check "learners lag" true (not (N.learners_caught_up h.node));
+  (* The learner confirms everything; then the config entry commits. *)
+  N.handle h.node ~src:5
+    (N.Append_resp
+       { term = N.current_term h.node; success = true; match_idx = N.log_length h.node });
+  check "learner caught up" true (N.learners_caught_up h.node);
+  ignore (N.propose_config h.node ~config_id:1 ~voters:[ 0; 1; 5 ]);
+  let len = N.log_length h.node in
+  N.handle h.node ~src:1
+    (N.Append_resp { term = N.current_term h.node; success = true; match_idx = len });
+  check "config committed and applied" true
+    (N.committed_config h.node = Some (1, [ 0; 1; 5 ]))
+
+let () =
+  Alcotest.run "raft_unit"
+    [
+      ( "votes",
+        [
+          Alcotest.test_case "one grant per term" `Quick
+            test_vote_granted_once_per_term;
+          Alcotest.test_case "log up-to-date check" `Quick
+            test_vote_log_up_to_date;
+          Alcotest.test_case "pre-vote does not bump the term" `Quick
+            test_pre_vote_does_not_bump_term;
+        ] );
+      ( "replication",
+        [
+          Alcotest.test_case "current-term commit rule" `Quick
+            test_commit_rule_current_term_only;
+          Alcotest.test_case "conflict truncation" `Quick
+            test_append_entries_conflict_truncation;
+          Alcotest.test_case "gap hint" `Quick test_append_gap_hint;
+        ] );
+      ( "leadership",
+        [
+          Alcotest.test_case "check-quorum step-down" `Quick
+            test_check_quorum_steps_down;
+          Alcotest.test_case "higher term deposes" `Quick
+            test_higher_term_deposes_leader;
+          Alcotest.test_case "learner promotion" `Quick
+            test_learner_promotion_via_config;
+        ] );
+    ]

@@ -1,0 +1,205 @@
+(* Unit and property tests for the log substrate, commands and the KV state
+   machine. *)
+
+module Log = Replog.Log
+module Command = Replog.Command
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_append_get () =
+  let l = Log.create () in
+  check "empty" true (Log.is_empty l);
+  for i = 0 to 99 do
+    Log.append l (i * 2)
+  done;
+  check_int "length" 100 (Log.length l);
+  check_int "get" 84 (Log.get l 42);
+  check "last" true (Log.last l = Some 198);
+  check "out of bounds raises" true
+    (try
+       ignore (Log.get l 100);
+       false
+     with Invalid_argument _ -> true)
+
+let test_suffix_sub () =
+  let l = Log.of_list [ 0; 1; 2; 3; 4 ] in
+  check "suffix" true (Log.suffix l ~from:3 = [ 3; 4 ]);
+  check "suffix from 0" true (Log.suffix l ~from:0 = [ 0; 1; 2; 3; 4 ]);
+  check "suffix past end" true (Log.suffix l ~from:7 = []);
+  check "sub" true (Log.sub l ~pos:1 ~len:2 = [ 1; 2 ]);
+  check "sub clamps" true (Log.sub l ~pos:4 ~len:10 = [ 4 ]);
+  check "sub empty" true (Log.sub l ~pos:2 ~len:0 = [])
+
+let test_truncate_set_suffix () =
+  let l = Log.of_list [ 0; 1; 2; 3; 4 ] in
+  Log.truncate l 3;
+  check "truncate" true (Log.to_list l = [ 0; 1; 2 ]);
+  Log.truncate l 10;
+  check "truncate beyond is a no-op" true (Log.to_list l = [ 0; 1; 2 ]);
+  Log.set_suffix l ~at:1 [ 9; 8 ];
+  check "set_suffix" true (Log.to_list l = [ 0; 9; 8 ]);
+  Log.set_suffix l ~at:3 [ 7 ];
+  check "set_suffix at end appends" true (Log.to_list l = [ 0; 9; 8; 7 ]);
+  check "set_suffix beyond raises" true
+    (try
+       Log.set_suffix l ~at:9 [];
+       false
+     with Invalid_argument _ -> true)
+
+let test_trim () =
+  let l = Log.of_list [ 0; 1; 2; 3; 4; 5 ] in
+  Log.trim l ~upto:3;
+  check_int "length is absolute" 6 (Log.length l);
+  check_int "first_idx moved" 3 (Log.first_idx l);
+  check_int "reads above the trim point work" 4 (Log.get l 4);
+  check "reads below the trim point raise" true
+    (try
+       ignore (Log.get l 2);
+       false
+     with Invalid_argument _ -> true);
+  check "suffix from below clamps to the trim point" true
+    (Log.suffix l ~from:0 = [ 3; 4; 5 ]);
+  Log.append l 6;
+  check_int "appends continue at absolute indices" 7 (Log.length l);
+  check "idempotent re-trim" true
+    (Log.trim l ~upto:2;
+     Log.first_idx l = 3);
+  Log.trim l ~upto:7;
+  check_int "trim everything" 7 (Log.first_idx l);
+  check "trim beyond length raises" true
+    (try
+       Log.trim l ~upto:9;
+       false
+     with Invalid_argument _ -> true)
+
+let test_copy_iter_fold () =
+  let l = Log.of_list [ 1; 2; 3 ] in
+  let c = Log.copy l in
+  Log.append l 4;
+  check_int "copy is independent" 3 (Log.length c);
+  let sum = Log.fold l ~init:0 ~f:( + ) in
+  check_int "fold" 10 sum;
+  let seen = ref [] in
+  Log.iteri_from l ~from:2 (fun i x -> seen := (i, x) :: !seen);
+  check "iteri_from" true (List.rev !seen = [ (2, 3); (3, 4) ])
+
+(* set_suffix agrees with the list model: take at, then append. *)
+let prop_set_suffix_model =
+  QCheck.Test.make ~name:"set_suffix matches the list model" ~count:200
+    QCheck.(triple (small_list small_int) small_nat (small_list small_int))
+    (fun (init, at, suffix) ->
+      let at = if init = [] then 0 else at mod (List.length init + 1) in
+      let l = Log.of_list init in
+      Log.set_suffix l ~at suffix;
+      let model = List.filteri (fun i _ -> i < at) init @ suffix in
+      Log.to_list l = model)
+
+let prop_suffix_model =
+  QCheck.Test.make ~name:"suffix matches the list model" ~count:200
+    QCheck.(pair (small_list small_int) small_nat)
+    (fun (init, from) ->
+      let l = Log.of_list init in
+      Log.suffix l ~from = List.filteri (fun i _ -> i >= from) init)
+
+let test_command_sizes () =
+  check_int "noop is the paper's 8 bytes" 8 (Command.size (Command.noop 1));
+  check "puts grow with payload" true
+    (Command.size (Command.make ~id:1 (Command.Kv_put ("key", "value"))) > 8);
+  check_int "blob" 100 (Command.size (Command.make ~id:1 (Command.Blob 100)))
+
+let test_kv_semantics () =
+  let kv = Replog.Kv.create () in
+  let apply op = Replog.Kv.apply kv (Command.make ~id:0 op) in
+  check "get missing" true (apply (Command.Kv_get "a") = Replog.Kv.Value None);
+  ignore (apply (Command.Kv_put ("a", "1")));
+  check "get hits" true
+    (apply (Command.Kv_get "a") = Replog.Kv.Value (Some "1"));
+  ignore (apply (Command.Kv_put ("a", "2")));
+  check "overwrite" true (Replog.Kv.get kv "a" = Some "2");
+  ignore (apply (Command.Kv_del "a"));
+  check "delete" true (Replog.Kv.get kv "a" = None);
+  check_int "applied count" 5 (Replog.Kv.applied kv)
+
+let test_kv_snapshot_roundtrip () =
+  let kv = Replog.Kv.create () in
+  let apply op = ignore (Replog.Kv.apply kv (Command.make ~id:0 op)) in
+  apply (Command.Kv_put ("alpha", "1"));
+  apply (Command.Kv_put ("beta:with:colons", "va:lue"));
+  apply (Command.Kv_put ("gamma", ""));
+  apply (Command.Kv_del "alpha");
+  let restored = Replog.Kv.restore (Replog.Kv.snapshot kv) in
+  check "deleted key absent" true (Replog.Kv.get restored "alpha" = None);
+  check "colon-laden key survives" true
+    (Replog.Kv.get restored "beta:with:colons" = Some "va:lue");
+  check "empty value survives" true (Replog.Kv.get restored "gamma" = Some "");
+  check_int "applied counter carried over" 4 (Replog.Kv.applied restored)
+
+(* Snapshot/restore is lossless for random states. *)
+let prop_kv_snapshot_lossless =
+  QCheck.Test.make ~name:"kv snapshot/restore is lossless" ~count:100
+    QCheck.(small_list (pair (string_of_size (Gen.int_bound 8)) (string_of_size (Gen.int_bound 8))))
+    (fun pairs ->
+      let kv = Replog.Kv.create () in
+      List.iteri
+        (fun i (k, v) ->
+          ignore (Replog.Kv.apply kv (Command.make ~id:i (Command.Kv_put (k, v)))))
+        pairs;
+      let restored = Replog.Kv.restore (Replog.Kv.snapshot kv) in
+      List.for_all
+        (fun (k, _) -> Replog.Kv.get restored k = Replog.Kv.get kv k)
+        pairs)
+
+(* Two KV stores applying the same command sequence agree: determinism of
+   the state machine. *)
+let prop_kv_deterministic =
+  let cmd_gen =
+    QCheck.Gen.(
+      map2
+        (fun k which ->
+          match which mod 3 with
+          | 0 -> Command.Kv_put ("k" ^ string_of_int k, string_of_int which)
+          | 1 -> Command.Kv_get ("k" ^ string_of_int k)
+          | _ -> Command.Kv_del ("k" ^ string_of_int k))
+        (int_bound 5) int)
+  in
+  QCheck.Test.make ~name:"kv state machine is deterministic" ~count:100
+    (QCheck.make QCheck.Gen.(list_size (int_bound 50) cmd_gen))
+    (fun ops ->
+      let run () =
+        let kv = Replog.Kv.create () in
+        List.iteri
+          (fun i op -> ignore (Replog.Kv.apply kv (Command.make ~id:i op)))
+          ops;
+        List.map (fun i -> Replog.Kv.get kv ("k" ^ string_of_int i))
+          [ 0; 1; 2; 3; 4; 5 ]
+      in
+      run () = run ())
+
+let () =
+  Alcotest.run "replog"
+    [
+      ( "log",
+        [
+          Alcotest.test_case "append/get" `Quick test_append_get;
+          Alcotest.test_case "suffix/sub" `Quick test_suffix_sub;
+          Alcotest.test_case "truncate/set_suffix" `Quick
+            test_truncate_set_suffix;
+          Alcotest.test_case "trim" `Quick test_trim;
+          Alcotest.test_case "copy/iter/fold" `Quick test_copy_iter_fold;
+        ] );
+      ( "command/kv",
+        [
+          Alcotest.test_case "command sizes" `Quick test_command_sizes;
+          Alcotest.test_case "kv semantics" `Quick test_kv_semantics;
+          Alcotest.test_case "kv snapshot roundtrip" `Quick
+            test_kv_snapshot_roundtrip;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_set_suffix_model;
+          QCheck_alcotest.to_alcotest prop_suffix_model;
+          QCheck_alcotest.to_alcotest prop_kv_deterministic;
+          QCheck_alcotest.to_alcotest prop_kv_snapshot_lossless;
+        ] );
+    ]
