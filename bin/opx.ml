@@ -5,17 +5,36 @@
      opx normal    [--wan] [--servers 5]  regular-execution throughput
      opx partition --scenario quorum-loss down-time under partial partitions
      opx chained                          chained-scenario decided counts
-     opx reconfig  [--majority]           reconfiguration comparison *)
+     opx reconfig  [--majority]           reconfiguration comparison
+     opx trace     [--out t.jsonl]        traced scenario runs + invariants
+
+   Every experiment subcommand also takes [--trace FILE] to record a JSONL
+   event trace of the whole run (see README "Trace format"). *)
 
 open Cmdliner
 module E = Rsm.Experiments
 
 let pf = Printf.printf
 
+(* Shared [--trace FILE] option: run the experiment with the tracer feeding
+   a JSONL file. *)
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Record a JSONL trace of every event in the run to $(docv).")
+
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some file -> Obs.Trace.with_jsonl ~file f
+
 (* ---------------- table1 ---------------- *)
 
 let table1_cmd =
-  let run seeds partition_s =
+  let run trace seeds partition_s =
+    with_trace trace @@ fun () ->
     let rows =
       E.table1 ~seeds:(List.init seeds (fun i -> i + 1))
         ~partition_ms:(float_of_int partition_s *. 1000.0) ()
@@ -39,12 +58,13 @@ let table1_cmd =
   in
   Cmd.v
     (Cmd.info "table1" ~doc:"Reproduce Table 1 (stable-progress matrix)")
-    Term.(const run $ seeds $ partition_s)
+    Term.(const run $ trace_arg $ seeds $ partition_s)
 
 (* ---------------- normal ---------------- *)
 
 let normal_cmd =
-  let run wan servers cp duration_s seeds =
+  let run trace wan servers cp duration_s seeds =
+    with_trace trace @@ fun () ->
     let rows =
       E.normal_execution
         ~seeds:(List.init seeds (fun i -> i + 1))
@@ -78,7 +98,7 @@ let normal_cmd =
   in
   Cmd.v
     (Cmd.info "normal" ~doc:"Regular execution throughput (Figure 7)")
-    Term.(const run $ wan $ servers $ cp $ duration_s $ seeds)
+    Term.(const run $ trace_arg $ wan $ servers $ cp $ duration_s $ seeds)
 
 (* ---------------- partition ---------------- *)
 
@@ -87,7 +107,8 @@ let scenario_conv =
     [ ("quorum-loss", E.Quorum_loss); ("constrained", E.Constrained) ]
 
 let partition_cmd =
-  let run kind timeout_ms partition_s seeds =
+  let run trace kind timeout_ms partition_s seeds =
+    with_trace trace @@ fun () ->
     let rows =
       E.partition_downtime
         ~seeds:(List.init seeds (fun i -> i + 1))
@@ -126,12 +147,13 @@ let partition_cmd =
   Cmd.v
     (Cmd.info "partition"
        ~doc:"Down-time under partial partitions (Figures 8a/8b)")
-    Term.(const run $ kind $ timeout_ms $ partition_s $ seeds)
+    Term.(const run $ trace_arg $ kind $ timeout_ms $ partition_s $ seeds)
 
 (* ---------------- chained ---------------- *)
 
 let chained_cmd =
-  let run duration_s seeds =
+  let run trace duration_s seeds =
+    with_trace trace @@ fun () ->
     let rows =
       E.chained_throughput
         ~seeds:(List.init seeds (fun i -> i + 1))
@@ -157,12 +179,13 @@ let chained_cmd =
   in
   Cmd.v
     (Cmd.info "chained" ~doc:"Chained-scenario decided requests (Figure 8c)")
-    Term.(const run $ duration_s $ seeds)
+    Term.(const run $ trace_arg $ duration_s $ seeds)
 
 (* ---------------- reconfig ---------------- *)
 
 let reconfig_cmd =
-  let run majority cp preload total_s =
+  let run trace majority cp preload total_s =
+    with_trace trace @@ fun () ->
     let params, omni, raft =
       E.reconfiguration ~preload ~cp ~replace_majority:majority
         ~total_ms:(float_of_int total_s *. 1000.0)
@@ -205,7 +228,90 @@ let reconfig_cmd =
   in
   Cmd.v
     (Cmd.info "reconfig" ~doc:"Reconfiguration comparison (Figure 9)")
-    Term.(const run $ majority $ cp $ preload $ total_s)
+    Term.(const run $ trace_arg $ majority $ cp $ preload $ total_s)
+
+(* ---------------- trace ---------------- *)
+
+let proto_conv =
+  Arg.enum
+    [
+      ("omni", E.omni_runner);
+      ("raft", E.raft_runner);
+      ("raft-pvcq", E.raft_pvcq_runner);
+      ("multipaxos", E.multipaxos_runner);
+      ("vr", E.vr_runner);
+    ]
+
+let trace_cmd =
+  let run pr out seed servers partition_s cp =
+    let runs =
+      E.traced_scenarios ~pr ~seed ~n:servers
+        ~partition_ms:(float_of_int partition_s *. 1000.0)
+        ~cp ()
+    in
+    (match out with
+    | None -> ()
+    | Some file ->
+        let oc = open_out file in
+        List.iter
+          (fun (tr : E.traced_run) ->
+            List.iter
+              (fun e ->
+                output_string oc (Obs.Event.to_json e);
+                output_char oc '\n')
+              tr.E.tr_events)
+          runs;
+        close_out oc;
+        pf "wrote %d events to %s\n"
+          (List.fold_left
+             (fun a (tr : E.traced_run) -> a + List.length tr.E.tr_events)
+             0 runs)
+          file);
+    let failed = ref false in
+    List.iter
+      (fun (tr : E.traced_run) ->
+        let s = Rsm.Trace_report.summarize tr.E.tr_events in
+        pf "== %s: %s (downtime %.0f ms, decided %d) ==\n" pr.E.pr_name
+          (E.scenario_name tr.E.tr_kind)
+          tr.E.tr_downtime_ms tr.E.tr_decided;
+        Format.printf "%a@.@." Rsm.Trace_report.pp s;
+        if not (Rsm.Trace_report.passed s) then failed := true)
+      runs;
+    if !failed then exit 1
+  in
+  let proto =
+    Arg.(
+      value
+      & opt proto_conv E.omni_runner
+      & info [ "protocol" ]
+          ~doc:"Protocol to trace: omni, raft, raft-pvcq, multipaxos or vr.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the recorded events of all three runs to $(docv).")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Run seed.") in
+  let servers =
+    Arg.(value & opt int 5 & info [ "servers" ] ~doc:"Cluster size.")
+  in
+  let partition_s =
+    Arg.(
+      value & opt int 5
+      & info [ "partition-s" ] ~doc:"Partition duration in seconds.")
+  in
+  let cp =
+    Arg.(value & opt int 50 & info [ "cp" ] ~doc:"Concurrent proposals.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run the three partial-connectivity scenarios with tracing on, \
+          report per-kind event counts and the trace invariants (non-zero \
+          exit on a violation)")
+    Term.(const run $ proto $ out $ seed $ servers $ partition_s $ cp)
 
 (* ---------------- mcheck ---------------- *)
 
@@ -260,5 +366,6 @@ let () =
             partition_cmd;
             chained_cmd;
             reconfig_cmd;
+            trace_cmd;
             mcheck_cmd;
           ]))

@@ -1,0 +1,112 @@
+(* Structured trace events. Protocol-agnostic: ballots are (n, prio, pid)
+   triples so Raft terms and VR views map onto them as (term, 0, leader). *)
+
+type ballot = { n : int; prio : int; pid : int }
+
+type kind =
+  | Ballot_increment of ballot
+  | Leader_elected of ballot
+  | Leader_changed of ballot
+  | Prepare_round of { b : ballot; log_idx : int; decided_idx : int }
+  | Promise_sent of { b : ballot; log_idx : int; decided_idx : int }
+  | Accept_sent of { b : ballot; start_idx : int; count : int }
+  | Accepted_idx of { b : ballot; log_idx : int }
+  | Decided of { b : ballot; decided_idx : int }
+  | Session_drop of { peer : int; session : int }
+  | Session_up of { peer : int; session : int }
+  | Link_cut of { a : int; b : int }
+  | Link_heal of { a : int; b : int }
+  | Crashed
+  | Recovered
+  | Reconfig of { config_id : int; milestone : string }
+  | Msg_send of { dst : int; size : int }
+  | Msg_deliver of { src : int; size : int }
+  | Msg_drop of { src : int; dst : int; reason : string }
+
+type t = { time : float; node : int; kind : kind }
+
+let kind_name = function
+  | Ballot_increment _ -> "ballot_increment"
+  | Leader_elected _ -> "leader_elected"
+  | Leader_changed _ -> "leader_changed"
+  | Prepare_round _ -> "prepare"
+  | Promise_sent _ -> "promise"
+  | Accept_sent _ -> "accept"
+  | Accepted_idx _ -> "accepted"
+  | Decided _ -> "decide"
+  | Session_drop _ -> "session_drop"
+  | Session_up _ -> "session_up"
+  | Link_cut _ -> "link_cut"
+  | Link_heal _ -> "link_heal"
+  | Crashed -> "crash"
+  | Recovered -> "recover"
+  | Reconfig _ -> "reconfig"
+  | Msg_send _ -> "send"
+  | Msg_deliver _ -> "deliver"
+  | Msg_drop _ -> "drop"
+
+let pp_ballot ppf b =
+  Format.fprintf ppf "(n=%d,prio=%d,pid=%d)" b.n b.prio b.pid
+
+(* Minimal JSON string escaping; reasons and milestones are short ASCII
+   identifiers, but escape defensively anyway. *)
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_ballot b =
+  Printf.sprintf {|{"n":%d,"prio":%d,"pid":%d}|} b.n b.prio b.pid
+
+(* One JSON object per event (no trailing newline); see README for the
+   schema. Every object has "t" (simulated ms), "node" and "kind"; the other
+   fields depend on the kind. *)
+let to_json e =
+  let head = Printf.sprintf {|"t":%.3f,"node":%d,"kind":"%s"|} e.time e.node
+      (kind_name e.kind)
+  in
+  let rest =
+    match e.kind with
+    | Ballot_increment b | Leader_elected b | Leader_changed b ->
+        Printf.sprintf {|"ballot":%s|} (json_ballot b)
+    | Prepare_round { b; log_idx; decided_idx }
+    | Promise_sent { b; log_idx; decided_idx } ->
+        Printf.sprintf {|"ballot":%s,"log_idx":%d,"decided_idx":%d|}
+          (json_ballot b) log_idx decided_idx
+    | Accept_sent { b; start_idx; count } ->
+        Printf.sprintf {|"ballot":%s,"start_idx":%d,"count":%d|}
+          (json_ballot b) start_idx count
+    | Accepted_idx { b; log_idx } ->
+        Printf.sprintf {|"ballot":%s,"log_idx":%d|} (json_ballot b) log_idx
+    | Decided { b; decided_idx } ->
+        Printf.sprintf {|"ballot":%s,"decided_idx":%d|} (json_ballot b)
+          decided_idx
+    | Session_drop { peer; session } | Session_up { peer; session } ->
+        Printf.sprintf {|"peer":%d,"session":%d|} peer session
+    | Link_cut { a; b } | Link_heal { a; b } ->
+        Printf.sprintf {|"a":%d,"b":%d|} a b
+    | Crashed | Recovered -> ""
+    | Reconfig { config_id; milestone } ->
+        Printf.sprintf {|"config_id":%d,"milestone":"%s"|} config_id
+          (escape milestone)
+    | Msg_send { dst; size } -> Printf.sprintf {|"dst":%d,"size":%d|} dst size
+    | Msg_deliver { src; size } ->
+        Printf.sprintf {|"src":%d,"size":%d|} src size
+    | Msg_drop { src; dst; reason } ->
+        Printf.sprintf {|"src":%d,"dst":%d,"reason":"%s"|} src dst
+          (escape reason)
+  in
+  if rest = "" then Printf.sprintf "{%s}" head
+  else Printf.sprintf "{%s,%s}" head rest
+
+let pp ppf e =
+  Format.fprintf ppf "[%.3f] node %d %s" e.time e.node (kind_name e.kind)

@@ -1,0 +1,51 @@
+(** Typed trace events emitted by the protocol layers and the simulated
+    network. Protocol-agnostic: ballots are (n, prio, pid) triples, so Raft
+    terms and VR views map onto them as (term, 0, leader).
+
+    Events serialise to one JSON object per line (JSONL); the schema is
+    documented in the README's "Trace format" section. *)
+
+type ballot = { n : int; prio : int; pid : int }
+
+type kind =
+  | Ballot_increment of ballot
+      (** A server bumped its own ballot (leader-takeover attempt). *)
+  | Leader_elected of ballot  (** First leader this server observed. *)
+  | Leader_changed of ballot  (** The observed leader changed. *)
+  | Prepare_round of { b : ballot; log_idx : int; decided_idx : int }
+      (** Leader-side: a Prepare was broadcast (or re-sent to a peer). *)
+  | Promise_sent of { b : ballot; log_idx : int; decided_idx : int }
+  | Accept_sent of { b : ballot; start_idx : int; count : int }
+      (** Leader-side: an Accept/AcceptSync batch of [count] entries. *)
+  | Accepted_idx of { b : ballot; log_idx : int }
+      (** Follower-side: acknowledged the log up to [log_idx]. *)
+  | Decided of { b : ballot; decided_idx : int }
+      (** The decided index advanced to [decided_idx]. *)
+  | Session_drop of { peer : int; session : int }
+      (** The transport session with [peer] was torn down (link loss). *)
+  | Session_up of { peer : int; session : int }
+      (** A new session with [peer] was established. *)
+  | Link_cut of { a : int; b : int }  (** The [a -> b] direction went down. *)
+  | Link_heal of { a : int; b : int }  (** The [a -> b] direction came up. *)
+  | Crashed
+  | Recovered
+  | Reconfig of { config_id : int; milestone : string }
+      (** Service-layer reconfiguration milestones: "stop-sign-proposed",
+          "stop-sign-decided", "migration-start", "migration-done". *)
+  | Msg_send of { dst : int; size : int }
+  | Msg_deliver of { src : int; size : int }
+  | Msg_drop of { src : int; dst : int; reason : string }
+      (** Reasons: "src-down", "dst-down", "link-down", "stale-session". *)
+
+type t = {
+  time : float;  (** simulated milliseconds *)
+  node : int;  (** emitting server (the receiver for [Msg_deliver]) *)
+  kind : kind;
+}
+
+val kind_name : kind -> string
+val to_json : t -> string
+(** One JSON object, no trailing newline. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_ballot : Format.formatter -> ballot -> unit

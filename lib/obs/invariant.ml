@@ -1,0 +1,96 @@
+(* Trace-driven invariant checkers. They consume the event stream a run
+   recorded (in timestamp order, as the sinks received it) and either pass or
+   return the first violation. Tests assert them over scenario runs; `opx
+   trace` reports them over whole replays. *)
+
+type violation = { at : float; node : int; message : string }
+
+let pp_violation ppf v =
+  Format.fprintf ppf "t=%.3f node=%d: %s" v.at v.node v.message
+
+let ballot_str (b : Event.ballot) =
+  Printf.sprintf "(n=%d,prio=%d,pid=%d)" b.n b.prio b.pid
+
+(* At most one server may act as leader (send Prepare or Accept) under any
+   given ballot, and only the server the ballot belongs to. Two servers
+   driving the same ballot is exactly the split-brain Sequence Paxos'
+   SC-invariants rule out. *)
+let single_leader_per_ballot events =
+  let owners : (Event.ballot, int) Hashtbl.t = Hashtbl.create 64 in
+  let check (e : Event.t) b =
+    if b.Event.pid <> e.node then
+      Some
+        {
+          at = e.time;
+          node = e.node;
+          message =
+            Printf.sprintf
+              "node %d acted as leader with ballot %s owned by node %d"
+              e.node (ballot_str b) b.Event.pid;
+        }
+    else
+      match Hashtbl.find_opt owners b with
+      | Some owner when owner <> e.node ->
+          Some
+            {
+              at = e.time;
+              node = e.node;
+              message =
+                Printf.sprintf
+                  "two leaders for ballot %s: nodes %d and %d" (ballot_str b)
+                  owner e.node;
+            }
+      | Some _ -> None
+      | None ->
+          Hashtbl.add owners b e.node;
+          None
+  in
+  let rec scan = function
+    | [] -> Ok ()
+    | (e : Event.t) :: rest -> (
+        let b =
+          match e.kind with
+          | Event.Prepare_round { b; _ } | Event.Accept_sent { b; _ } ->
+              Some b
+          | _ -> None
+        in
+        match b with
+        | None -> scan rest
+        | Some b -> ( match check e b with None -> scan rest | Some v -> Error v))
+  in
+  scan events
+
+(* Each server's decided index never moves backwards. Stable storage keeps
+   the decided prefix across crashes, so this holds across recoveries too. *)
+let decided_prefix_monotonic events =
+  let last : (int, float * int) Hashtbl.t = Hashtbl.create 16 in
+  let rec scan = function
+    | [] -> Ok ()
+    | (e : Event.t) :: rest -> (
+        match e.kind with
+        | Event.Decided { decided_idx; _ } -> (
+            match Hashtbl.find_opt last e.node with
+            | Some (at, prev) when decided_idx < prev ->
+                Error
+                  {
+                    at = e.time;
+                    node = e.node;
+                    message =
+                      Printf.sprintf
+                        "decided index went backwards: %d (t=%.3f) -> %d"
+                        prev at decided_idx;
+                  }
+            | _ ->
+                Hashtbl.replace last e.node (e.time, decided_idx);
+                scan rest)
+        | _ -> scan rest)
+  in
+  scan events
+
+let all =
+  [
+    ("single-leader-per-ballot", single_leader_per_ballot);
+    ("decided-prefix-monotonic", decided_prefix_monotonic);
+  ]
+
+let check_all events = List.map (fun (name, f) -> (name, f events)) all

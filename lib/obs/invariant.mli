@@ -1,0 +1,18 @@
+(** Trace-driven invariant checkers: feed them the event stream of a run (in
+    timestamp order) and assert the result. Tests run them over scenario
+    runs; [opx trace] reports them over whole replays. *)
+
+type violation = { at : float; node : int; message : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val single_leader_per_ballot : Event.t list -> (unit, violation) result
+(** At most one server acts as leader (sends Prepare or Accept) under any
+    given ballot, and only the server the ballot belongs to. *)
+
+val decided_prefix_monotonic : Event.t list -> (unit, violation) result
+(** Each server's decided index never moves backwards (stable storage keeps
+    the decided prefix across crashes). *)
+
+val check_all : Event.t list -> (string * (unit, violation) result) list
+(** Run every checker; returns (name, result) pairs. *)

@@ -1,0 +1,186 @@
+(* Metrics: counters, gauges and log-scale histograms behind a string-keyed
+   registry. Everything is plain mutable ints/floats — recording is a few
+   stores, cheap enough for hot paths.
+
+   Histograms use base-2 log-scale buckets: bucket 0 holds [0, 1), bucket i
+   (i >= 1) holds [2^(i-1), 2^i). 63 buckets cover up to 2^62, far beyond
+   any simulated duration or byte count. Exact count/sum/sum-of-squares are
+   kept alongside, so mean and stddev are exact and compose with
+   [Rsm.Metrics.Stats] (e.g. a t-based CI from [count]/[mean]/[stddev]);
+   only percentiles are bucket-interpolated. *)
+
+module Counter = struct
+  type t = { mutable v : int }
+
+  let create () = { v = 0 }
+  let incr t = t.v <- t.v + 1
+  let add t n = t.v <- t.v + n
+  let value t = t.v
+  let reset t = t.v <- 0
+end
+
+module Gauge = struct
+  type t = { mutable v : float }
+
+  let create () = { v = 0.0 }
+  let set t x = t.v <- x
+  let add t x = t.v <- t.v +. x
+  let value t = t.v
+end
+
+module Histogram = struct
+  let nbuckets = 63
+
+  type t = {
+    buckets : int array;
+    mutable count : int;
+    mutable sum : float;
+    mutable sumsq : float;
+    mutable minv : float;
+    mutable maxv : float;
+  }
+
+  let create () =
+    {
+      buckets = Array.make nbuckets 0;
+      count = 0;
+      sum = 0.0;
+      sumsq = 0.0;
+      minv = infinity;
+      maxv = neg_infinity;
+    }
+
+  let bucket_of x =
+    if x < 1.0 then 0
+    else
+      let _, e = Float.frexp x in
+      min (nbuckets - 1) e
+
+  (* Bucket i covers [lower_bound i, upper_bound i). *)
+  let lower_bound i = if i = 0 then 0.0 else Float.ldexp 1.0 (i - 1)
+  let upper_bound i = Float.ldexp 1.0 i
+
+  let observe t x =
+    let x = Float.max x 0.0 in
+    t.buckets.(bucket_of x) <- t.buckets.(bucket_of x) + 1;
+    t.count <- t.count + 1;
+    t.sum <- t.sum +. x;
+    t.sumsq <- t.sumsq +. (x *. x);
+    if x < t.minv then t.minv <- x;
+    if x > t.maxv then t.maxv <- x
+
+  let count t = t.count
+  let sum t = t.sum
+  let min_value t = if t.count = 0 then nan else t.minv
+  let max_value t = if t.count = 0 then nan else t.maxv
+  let mean t = if t.count = 0 then nan else t.sum /. float_of_int t.count
+
+  let stddev t =
+    if t.count < 2 then 0.0
+    else
+      let n = float_of_int t.count in
+      let m = t.sum /. n in
+      (* Sample variance from the sum of squares; clamp tiny negative
+         rounding residue. *)
+      let var = Float.max 0.0 ((t.sumsq -. (n *. m *. m)) /. (n -. 1.0)) in
+      sqrt var
+
+  (* Linear interpolation inside the target bucket; exact min/max at the
+     extremes. *)
+  let percentile t ~p =
+    if t.count = 0 then nan
+    else begin
+      let target = p /. 100.0 *. float_of_int t.count in
+      let rec find i cum =
+        if i >= nbuckets then t.maxv
+        else
+          let cum' = cum + t.buckets.(i) in
+          if float_of_int cum' >= target && t.buckets.(i) > 0 then begin
+            let within =
+              (target -. float_of_int cum) /. float_of_int t.buckets.(i)
+            in
+            let lo = Float.max (lower_bound i) t.minv in
+            let hi = Float.min (upper_bound i) t.maxv in
+            lo +. (within *. (hi -. lo))
+          end
+          else find (i + 1) cum'
+      in
+      find 0 0
+    end
+
+  (* Non-empty buckets as (upper bound, count), for dumps and tests. *)
+  let buckets t =
+    let acc = ref [] in
+    for i = nbuckets - 1 downto 0 do
+      if t.buckets.(i) > 0 then acc := (upper_bound i, t.buckets.(i)) :: !acc
+    done;
+    !acc
+end
+
+module Registry = struct
+  type t = {
+    counters : (string, Counter.t) Hashtbl.t;
+    gauges : (string, Gauge.t) Hashtbl.t;
+    histograms : (string, Histogram.t) Hashtbl.t;
+  }
+
+  let create () =
+    {
+      counters = Hashtbl.create 16;
+      gauges = Hashtbl.create 16;
+      histograms = Hashtbl.create 16;
+    }
+
+  let find_or_add tbl name make =
+    match Hashtbl.find_opt tbl name with
+    | Some m -> m
+    | None ->
+        let m = make () in
+        Hashtbl.add tbl name m;
+        m
+
+  let counter t name = find_or_add t.counters name Counter.create
+  let gauge t name = find_or_add t.gauges name Gauge.create
+  let histogram t name = find_or_add t.histograms name Histogram.create
+
+  let clear t =
+    Hashtbl.reset t.counters;
+    Hashtbl.reset t.gauges;
+    Hashtbl.reset t.histograms
+
+  let sorted_keys tbl =
+    List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
+
+  (* One human-readable line per metric, sorted by name. *)
+  let to_lines t =
+    let counters =
+      List.map
+        (fun k ->
+          Printf.sprintf "counter   %-32s %d" k
+            (Counter.value (Hashtbl.find t.counters k)))
+        (sorted_keys t.counters)
+    in
+    let gauges =
+      List.map
+        (fun k ->
+          Printf.sprintf "gauge     %-32s %g" k
+            (Gauge.value (Hashtbl.find t.gauges k)))
+        (sorted_keys t.gauges)
+    in
+    let histograms =
+      List.map
+        (fun k ->
+          let h = Hashtbl.find t.histograms k in
+          Printf.sprintf
+            "histogram %-32s count=%d mean=%.3f p50=%.3f p99=%.3f max=%.3f" k
+            (Histogram.count h) (Histogram.mean h)
+            (Histogram.percentile h ~p:50.0)
+            (Histogram.percentile h ~p:99.0)
+            (Histogram.max_value h))
+        (sorted_keys t.histograms)
+    in
+    counters @ gauges @ histograms
+
+  (* The process-wide registry the instrumented layers record into. *)
+  let default = create ()
+end

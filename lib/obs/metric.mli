@@ -1,0 +1,74 @@
+(** Metrics: counters, gauges and base-2 log-scale histograms behind a
+    string-keyed registry. Recording is a few plain stores — cheap enough
+    for hot paths.
+
+    Histograms keep exact count/sum/sum-of-squares alongside the buckets, so
+    [mean] and [stddev] are exact and compose with [Rsm.Metrics.Stats]
+    (e.g. a t-based confidence interval from [count]/[mean]/[stddev]); only
+    [percentile] is bucket-interpolated. *)
+
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  val reset : t -> unit
+end
+
+module Gauge : sig
+  type t
+
+  val create : unit -> t
+  val set : t -> float -> unit
+  val add : t -> float -> unit
+  val value : t -> float
+end
+
+module Histogram : sig
+  type t
+
+  val create : unit -> t
+
+  val observe : t -> float -> unit
+  (** Record a sample. Negative samples are clamped to 0. *)
+
+  val count : t -> int
+  val sum : t -> float
+  val mean : t -> float
+  (** [nan] when empty. *)
+
+  val stddev : t -> float
+  (** Sample standard deviation (n-1); 0 with fewer than two samples. *)
+
+  val min_value : t -> float
+  val max_value : t -> float
+
+  val percentile : t -> p:float -> float
+  (** Bucket-interpolated percentile, [p] in [0, 100]. [nan] when empty.
+      Buckets are base-2 log-scale: bucket 0 holds [0, 1), bucket [i >= 1]
+      holds [2^(i-1), 2^i). *)
+
+  val buckets : t -> (float * int) list
+  (** Non-empty buckets as (upper bound, count), ascending. *)
+end
+
+module Registry : sig
+  type t
+
+  val create : unit -> t
+
+  val counter : t -> string -> Counter.t
+  (** Find or create. The same name always returns the same metric. *)
+
+  val gauge : t -> string -> Gauge.t
+  val histogram : t -> string -> Histogram.t
+  val clear : t -> unit
+
+  val to_lines : t -> string list
+  (** One human-readable line per metric, sorted by name. *)
+
+  val default : t
+  (** The process-wide registry the instrumented layers record into. *)
+end

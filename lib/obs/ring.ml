@@ -1,0 +1,40 @@
+(* Bounded ring buffer: O(1) push, overwrites the oldest element once full.
+   Backs the in-memory trace sink so long runs cannot exhaust memory. *)
+
+type 'a t = {
+  buf : 'a option array;
+  mutable next : int;  (* index the next push writes to *)
+  mutable count : int;  (* elements currently stored, <= capacity *)
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  { buf = Array.make capacity None; next = 0; count = 0 }
+
+let capacity t = Array.length t.buf
+let length t = t.count
+
+let push t x =
+  t.buf.(t.next) <- Some x;
+  t.next <- (t.next + 1) mod Array.length t.buf;
+  if t.count < Array.length t.buf then t.count <- t.count + 1
+
+let clear t =
+  Array.fill t.buf 0 (Array.length t.buf) None;
+  t.next <- 0;
+  t.count <- 0
+
+(* Oldest-first. *)
+let iter t f =
+  let cap = Array.length t.buf in
+  let start = (t.next - t.count + cap) mod cap in
+  for i = 0 to t.count - 1 do
+    match t.buf.((start + i) mod cap) with
+    | Some x -> f x
+    | None -> ()
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter t (fun x -> acc := x :: !acc);
+  List.rev !acc

@@ -1,0 +1,20 @@
+(** Bounded ring buffer: O(1) push, overwrites the oldest element once full.
+    Backs the in-memory trace sink so long runs cannot exhaust memory. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] if [capacity <= 0]. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+(** Elements currently stored; at most [capacity]. *)
+
+val push : 'a t -> 'a -> unit
+val clear : 'a t -> unit
+
+val iter : 'a t -> ('a -> unit) -> unit
+(** Oldest-first. *)
+
+val to_list : 'a t -> 'a list
+(** Oldest-first. *)

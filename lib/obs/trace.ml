@@ -1,0 +1,87 @@
+(* The global tracer. A single process runs one simulation at a time (the
+   whole repository is single-threaded and deterministic), so the tracer is
+   process-global: instrumentation sites do not thread a handle through every
+   constructor.
+
+   Cost model: every instrumentation site is guarded by [on ()], a single
+   ref load and branch. [hot] is true only when tracing is both enabled and
+   at least one sink is subscribed, so "enabled but unsubscribed" costs the
+   same as disabled — this is what bench/check_overhead.ml verifies. *)
+
+type sink = Event.t -> unit
+
+let enabled = ref false
+let sinks : (int * sink) list ref = ref []
+let hot = ref false
+let next_id = ref 0
+let clock : (unit -> float) ref = ref (fun () -> 0.0)
+let refresh () = hot := !enabled && !sinks <> []
+
+let set_enabled b =
+  enabled := b;
+  refresh ()
+
+let is_enabled () = !enabled
+let[@inline] on () = !hot
+
+let subscribe f =
+  incr next_id;
+  sinks := (!next_id, f) :: !sinks;
+  refresh ();
+  !next_id
+
+let unsubscribe id =
+  sinks := List.filter (fun (i, _) -> i <> id) !sinks;
+  refresh ()
+
+let set_clock f = clock := f
+
+let emit_at ~time ~node kind =
+  if !hot then begin
+    let e = { Event.time; node; kind } in
+    List.iter (fun (_, s) -> s e) !sinks
+  end
+
+let emit ~node kind = if !hot then emit_at ~time:(!clock ()) ~node kind
+
+let ring_sink ring : sink = fun e -> Ring.push ring e
+
+let jsonl_sink oc : sink =
+ fun e ->
+  output_string oc (Event.to_json e);
+  output_char oc '\n'
+
+let with_recording ?(capacity = 1_000_000) f =
+  let ring = Ring.create ~capacity in
+  let id = subscribe (ring_sink ring) in
+  let was = !enabled in
+  set_enabled true;
+  let finish () =
+    unsubscribe id;
+    set_enabled was
+  in
+  match f () with
+  | v ->
+      finish ();
+      (v, Ring.to_list ring)
+  | exception e ->
+      finish ();
+      raise e
+
+let with_jsonl ~file f =
+  let oc = open_out file in
+  let id = subscribe (jsonl_sink oc) in
+  let was = !enabled in
+  set_enabled true;
+  let finish () =
+    unsubscribe id;
+    set_enabled was;
+    close_out oc
+  in
+  match f () with
+  | v ->
+      finish ();
+      v
+  | exception e ->
+      finish ();
+      raise e

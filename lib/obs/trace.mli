@@ -1,0 +1,51 @@
+(** The global tracer: a typed event stream with pluggable sinks.
+
+    Off by default. Instrumentation sites are guarded by {!on} (one ref load
+    and branch), and the guard is also false while tracing is enabled but no
+    sink is subscribed — the disabled path costs ~nothing, so benchmark
+    numbers are unaffected (verified by [bench/check_overhead.ml]).
+
+    The tracer is process-global: the repository runs one deterministic
+    single-threaded simulation at a time, so instrumentation sites do not
+    thread a handle through every constructor. [Simnet.Net.create] installs
+    its simulated clock here; events emitted outside any simulation carry
+    time 0. *)
+
+type sink = Event.t -> unit
+
+val set_enabled : bool -> unit
+val is_enabled : unit -> bool
+
+val on : unit -> bool
+(** True when tracing is enabled {e and} at least one sink is subscribed.
+    Guard every [emit] call site with this so argument construction is
+    skipped when tracing is off. *)
+
+val subscribe : sink -> int
+(** Register a sink; returns an id for {!unsubscribe}. *)
+
+val unsubscribe : int -> unit
+
+val set_clock : (unit -> float) -> unit
+(** Install the simulated clock used to stamp events emitted via {!emit}. *)
+
+val emit : node:int -> Event.kind -> unit
+(** Emit an event stamped with the installed clock. No-op unless {!on}. *)
+
+val emit_at : time:float -> node:int -> Event.kind -> unit
+(** Emit with an explicit timestamp (used by the simulator, which knows its
+    own clock). No-op unless {!on}. *)
+
+val ring_sink : Event.t Ring.t -> sink
+val jsonl_sink : out_channel -> sink
+(** One [Event.to_json] object per line. *)
+
+val with_recording : ?capacity:int -> (unit -> 'a) -> 'a * Event.t list
+(** [with_recording f] runs [f] with tracing enabled into a fresh in-memory
+    ring (default capacity 1,000,000 events) and returns [f ()]'s result
+    together with the recorded events, restoring the previous tracer state
+    afterwards (also on exceptions). *)
+
+val with_jsonl : file:string -> (unit -> 'a) -> 'a
+(** Run with tracing enabled into a JSONL file, restoring tracer state and
+    closing the file afterwards. *)

@@ -47,6 +47,9 @@ let is_quorum_connected t = t.qc
 
 let leader_ballot t = Option.value t.leader ~default:Ballot.bottom
 
+let trace_ballot (b : Ballot.t) =
+  { Obs.Event.n = b.Ballot.n; prio = b.priority; pid = b.pid }
+
 (* The checkLeader step of Figure 4, run when a heartbeat round closes. *)
 let check_round t =
   let reply_list = Hashtbl.fold (fun _ hb acc -> hb :: acc) t.replies [] in
@@ -64,7 +67,12 @@ let check_round t =
     let max_candidate = List.fold_left Ballot.max Ballot.bottom candidates in
     let led = leader_ballot t in
     if Ballot.(max_candidate > led) then begin
+      let first = t.leader = None in
       t.leader <- Some max_candidate;
+      if Obs.Trace.on () then
+        Obs.Trace.emit ~node:t.id
+          (if first then Obs.Event.Leader_elected (trace_ballot max_candidate)
+           else Obs.Event.Leader_changed (trace_ballot max_candidate));
       t.on_leader max_candidate
     end
     else if Ballot.(max_candidate < led) then begin
@@ -80,7 +88,10 @@ let check_round t =
       t.ballot <- Ballot.bump_above t.ballot max_seen;
       if t.connectivity_priority then
         t.ballot <- { t.ballot with Ballot.priority = connected };
-      t.persistent.ballot_n <- t.ballot.Ballot.n
+      t.persistent.ballot_n <- t.ballot.Ballot.n;
+      if Obs.Trace.on () then
+        Obs.Trace.emit ~node:t.id
+          (Obs.Event.Ballot_increment (trace_ballot t.ballot))
     end
   end
   else t.qc <- false

@@ -60,7 +60,12 @@ let propose t entry = Sequence_paxos.propose t.sp entry
 let propose_cmd t cmd = propose t (Entry.Cmd cmd)
 
 let propose_reconfigure t ~config_id ~nodes =
-  propose t (Entry.Stop_sign { config_id; nodes; metadata = "" })
+  let ok = propose t (Entry.Stop_sign { config_id; nodes; metadata = "" }) in
+  if ok && Obs.Trace.on () then
+    Obs.Trace.emit
+      ~node:(Sequence_paxos.id t.sp)
+      (Obs.Event.Reconfig { config_id; milestone = "stop-sign-proposed" });
+  ok
 
 let request_trim t ~upto = Sequence_paxos.request_trim t.sp ~upto
 let is_leader t = Sequence_paxos.is_leader t.sp

@@ -85,6 +85,9 @@ let fresh_persistent () =
     decided_idx = 0;
   }
 
+let trace_ballot (b : Ballot.t) =
+  { Obs.Event.n = b.Ballot.n; prio = b.Ballot.priority; pid = b.Ballot.pid }
+
 let find_stop_sign_from log ~from =
   let found = ref None in
   Log.iteri_from log ~from (fun i e ->
@@ -157,6 +160,9 @@ let advance_decided t d =
   let d = min d (Log.length t.dur.log) in
   if d > t.dur.decided_idx then begin
     t.dur.decided_idx <- d;
+    if Obs.Trace.on () then
+      Obs.Trace.emit ~node:t.id
+        (Obs.Event.Decided { b = trace_ballot t.dur.acc_rnd; decided_idx = d });
     t.on_decide d
   end
 
@@ -200,6 +206,14 @@ let accept_sync_follower t ~dst ~(info : promise_info) ~max_acc_rnd =
   in
   let sync_idx = max wanted floor in
   let suffix = Log.suffix t.dur.log ~from:sync_idx in
+  if Obs.Trace.on () then
+    Obs.Trace.emit ~node:t.id
+      (Obs.Event.Accept_sent
+         {
+           b = trace_ballot t.dur.prom_rnd;
+           start_idx = sync_idx;
+           count = List.length suffix;
+         });
   t.send ~dst
     (Accept_sync
        {
@@ -266,6 +280,14 @@ let start_prepare t =
   Hashtbl.reset t.synced;
   Hashtbl.reset t.acc_idx;
   Hashtbl.reset t.sent_idx;
+  if Obs.Trace.on () then
+    Obs.Trace.emit ~node:t.id
+      (Obs.Event.Prepare_round
+         {
+           b = trace_ballot t.dur.prom_rnd;
+           log_idx = Log.length t.dur.log;
+           decided_idx = t.dur.decided_idx;
+         });
   let prepare =
     Prepare
       {
@@ -313,6 +335,14 @@ let on_prepare t ~src ~n ~l_acc_rnd ~l_log_idx ~l_decided_idx =
         (from, Log.suffix t.dur.log ~from)
       else (Log.length t.dur.log, [])
     in
+    if Obs.Trace.on () then
+      Obs.Trace.emit ~node:t.id
+        (Obs.Event.Promise_sent
+           {
+             b = trace_ballot n;
+             log_idx = Log.length t.dur.log;
+             decided_idx = t.dur.decided_idx;
+           });
     t.send ~dst:src
       (Promise
          {
@@ -352,6 +382,10 @@ let on_accept_sync t ~n ~sync_idx ~suffix ~l_decided_idx ~snapshot =
           Option.map (fun i -> idx + i) (List.find_index Entry.is_stop_sign suffix);
         t.dur.decided_idx <- max t.dur.decided_idx idx;
         t.on_snapshot idx payload;
+        if Obs.Trace.on () then
+          Obs.Trace.emit ~node:t.id
+            (Obs.Event.Accepted_idx
+               { b = trace_ballot n; log_idx = Log.length t.dur.log });
         t.send ~dst:n.Ballot.pid (Accepted { n; log_idx = Log.length t.dur.log });
         advance_decided t l_decided_idx
     | None ->
@@ -359,6 +393,10 @@ let on_accept_sync t ~n ~sync_idx ~suffix ~l_decided_idx ~snapshot =
         then begin
           t.dur.acc_rnd <- n;
           sync_log t ~at:sync_idx suffix;
+          if Obs.Trace.on () then
+            Obs.Trace.emit ~node:t.id
+              (Obs.Event.Accepted_idx
+                 { b = trace_ballot n; log_idx = Log.length t.dur.log });
           t.send ~dst:n.Ballot.pid
             (Accepted { n; log_idx = Log.length t.dur.log });
           advance_decided t l_decided_idx
@@ -378,6 +416,10 @@ let on_accept t ~n ~start_idx ~entries ~l_decided_idx =
     let already = Log.length t.dur.log - start_idx in
     let fresh = if already <= 0 then entries else List.filteri (fun i _ -> i >= already) entries in
     List.iter (append_entry t) fresh;
+    if Obs.Trace.on () then
+      Obs.Trace.emit ~node:t.id
+        (Obs.Event.Accepted_idx
+           { b = trace_ballot n; log_idx = Log.length t.dur.log });
     t.send ~dst:n.Ballot.pid (Accepted { n; log_idx = Log.length t.dur.log });
     advance_decided t l_decided_idx
   end
@@ -429,6 +471,14 @@ let resend_prepare_to t ~dst =
   Hashtbl.remove t.acc_idx dst;
   Hashtbl.remove t.sent_idx dst;
   Hashtbl.remove t.promises dst;
+  if Obs.Trace.on () then
+    Obs.Trace.emit ~node:t.id
+      (Obs.Event.Prepare_round
+         {
+           b = trace_ballot t.dur.prom_rnd;
+           log_idx = Log.length t.dur.log;
+           decided_idx = t.dur.decided_idx;
+         });
   t.send ~dst
     (Prepare
        {
@@ -487,6 +537,14 @@ let flush t =
         let from = Option.value (Hashtbl.find_opt t.sent_idx f) ~default:len in
         if from < len then begin
           let count = min max_batch (len - from) in
+          if Obs.Trace.on () then
+            Obs.Trace.emit ~node:t.id
+              (Obs.Event.Accept_sent
+                 {
+                   b = trace_ballot t.dur.prom_rnd;
+                   start_idx = from;
+                   count;
+                 });
           t.send ~dst:f
             (Accept
                {

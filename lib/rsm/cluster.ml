@@ -30,6 +30,8 @@ module Make (P : Protocol.PROTOCOL) = struct
     net : P.msg Net.t;
     nodes : P.t array;
     election_ticks : int;
+    m_accepted : Obs.Metric.Counter.t;
+    m_rejected : Obs.Metric.Counter.t;
   }
 
   let all_ids n = List.init n (fun i -> i)
@@ -54,7 +56,18 @@ module Make (P : Protocol.PROTOCOL) = struct
         Net.set_session_handler net id (fun ~peer ->
             P.session_reset node ~peer))
       nodes;
-    let t = { cfg; net; nodes; election_ticks } in
+    let t =
+      {
+        cfg;
+        net;
+        nodes;
+        election_ticks;
+        m_accepted =
+          Obs.Metric.Registry.(counter default "cluster.proposals.accepted");
+        m_rejected =
+          Obs.Metric.Registry.(counter default "cluster.proposals.rejected");
+      }
+    in
     let rec tick_loop () =
       Net.schedule net ~delay:cfg.tick_ms (fun () ->
           Array.iteri
@@ -96,6 +109,8 @@ module Make (P : Protocol.PROTOCOL) = struct
          else raise Exit
        done
      with Exit -> ());
+    Obs.Metric.Counter.add t.m_accepted !got;
+    Obs.Metric.Counter.add t.m_rejected (count - !got);
     !got
 
   let start_client ?retry_ms t ~cp =

@@ -444,6 +444,44 @@ let table1 ?(seeds = [ 1; 2 ]) ?(partition_ms = 30_000.0) ?(cp = 50) () =
     all_protocols
 
 (* ------------------------------------------------------------------ *)
+(* Traced runs (the [opx trace] subcommand)                            *)
+(* ------------------------------------------------------------------ *)
+
+type traced_run = {
+  tr_kind : scenario_kind;
+  tr_events : Obs.Event.t list;
+  tr_downtime_ms : float;
+  tr_decided : int;
+}
+
+(** One recorded partial-connectivity run per scenario: the run executes
+    with the tracer enabled into an in-memory ring and returns the full
+    event stream alongside the usual outcome numbers. *)
+let traced_scenarios ?(pr = omni_runner) ?(seed = 1) ?(n = 5)
+    ?(timeout_ms = 50.0) ?(partition_ms = 5_000.0) ?(cp = 50) () =
+  List.map
+    (fun kind ->
+      let cfg =
+        {
+          Cluster.default_config with
+          n;
+          seed;
+          election_timeout_ms = timeout_ms;
+        }
+      in
+      let (downtime, decided, _), events =
+        Obs.Trace.with_recording (fun () ->
+            pr.pr_partition cfg ~kind ~partition_ms ~cp)
+      in
+      {
+        tr_kind = kind;
+        tr_events = events;
+        tr_downtime_ms = downtime;
+        tr_decided = decided;
+      })
+    [ Quorum_loss; Constrained; Chained ]
+
+(* ------------------------------------------------------------------ *)
 (* Ablations of the design choices called out in DESIGN.md             *)
 (* ------------------------------------------------------------------ *)
 

@@ -41,28 +41,36 @@ module Series = struct
     else if time >= t.times.(t.len - 1) then t.counts.(t.len - 1)
     else search 0 (t.len - 1)
 
-  let total_between t ~from ~until = count_at t until - count_at t from
+  (* Counts over the half-open window (from, until]: a sample exactly at
+     [from] belongs to the preceding window, one exactly at [until] to this
+     one, so adjacent windows never double-count. Empty when until <= from. *)
+  let total_between t ~from ~until =
+    if until <= from then 0 else max 0 (count_at t until - count_at t from)
 
   (* Longest interval within [from, until] with no new decided replies: the
-     paper's down-time metric. *)
+     paper's down-time metric. Empty window (until <= from) has no gap;
+     a series with no progress samples inside the window gaps throughout. *)
   let longest_gap t ~from ~until =
-    let gap = ref 0.0 in
-    let last_progress = ref from in
-    for i = 0 to t.len - 1 do
-      let time = t.times.(i) in
-      if time >= from && time <= until then begin
-        let prev = if i = 0 then 0 else t.counts.(i - 1) in
-        if t.counts.(i) > prev then begin
-          gap := Float.max !gap (time -. !last_progress);
-          last_progress := time
+    if until <= from then 0.0
+    else begin
+      let gap = ref 0.0 in
+      let last_progress = ref from in
+      for i = 0 to t.len - 1 do
+        let time = t.times.(i) in
+        if time >= from && time <= until then begin
+          let prev = if i = 0 then 0 else t.counts.(i - 1) in
+          if t.counts.(i) > prev then begin
+            gap := Float.max !gap (time -. !last_progress);
+            last_progress := time
+          end
         end
-      end
-    done;
-    Float.max !gap (until -. !last_progress)
+      done;
+      Float.max !gap (until -. !last_progress)
+    end
 
   (* Decided per window of [window] ms, covering [from, until]. *)
   let windowed t ~from ~until ~window =
-    let n = int_of_float (ceil ((until -. from) /. window)) in
+    let n = max 0 (int_of_float (ceil ((until -. from) /. window))) in
     List.init n (fun i ->
         let a = from +. (float_of_int i *. window) in
         let b = Float.min until (a +. window) in

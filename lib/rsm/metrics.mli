@@ -11,13 +11,22 @@ module Series : sig
   val length : t -> int
 
   val count_at : t -> float -> int
-  (** Cumulative count at the last sample at or before the given time. *)
+  (** Cumulative count of the last sample at or before the given time: a
+      sample stamped exactly at the query time is included. 0 on an empty
+      series or before the first sample. *)
 
   val total_between : t -> from:float -> until:float -> int
+  (** Count over the half-open window (from, until]: a sample exactly at
+      [from] belongs to the preceding window, one exactly at [until] to
+      this one, so adjacent windows never double-count. 0 when
+      [until <= from] or the series is empty. *)
 
   val longest_gap : t -> from:float -> until:float -> float
   (** Longest interval within [from, until] during which no new decided
-      replies arrived — the paper's down-time metric. *)
+      replies arrived — the paper's down-time metric. Progress samples
+      exactly at [from] or [until] bound the gap. 0 when [until <= from];
+      [until -. from] when the window contains no progress at all (in
+      particular on an empty series). *)
 
   val windowed : t -> from:float -> until:float -> window:float -> (float * int) list
   (** Decided count per window, as (window start, count) pairs. *)

@@ -3,8 +3,10 @@
 module N = Multipaxos.Node
 
 type t = {
+  id : int;
   node : N.t;
   cache : Protocol.Decided_cache.t;
+  obs : Protocol.Obs_hooks.t;
   mutable scanned : int;
 }
 
@@ -24,14 +26,30 @@ let scan t upto =
 let create ~id ~peers ~election_ticks ~rand ~send () =
   let cache = Protocol.Decided_cache.create () in
   let t_ref = ref None in
-  let on_decide upto = match !t_ref with Some t -> scan t upto | None -> () in
+  let on_decide upto =
+    match !t_ref with
+    | Some t ->
+        scan t upto;
+        Protocol.Obs_hooks.note_decided ~node:t.id
+          ~term:(N.current_ballot t.node).N.n ~leader:(N.leader_pid t.node)
+          ~decided_idx:upto
+    | None -> ()
+  in
   let node = N.create ~id ~peers ~election_ticks ~rand ~send ~on_decide () in
-  let t = { node; cache; scanned = 0 } in
+  let t =
+    { id; node; cache; obs = Protocol.Obs_hooks.create (); scanned = 0 }
+  in
   t_ref := Some t;
   t
 
 let handle t ~src msg = N.handle t.node ~src msg
-let tick t = N.tick t.node
+
+let tick t =
+  N.tick t.node;
+  Protocol.Obs_hooks.note_leader t.obs ~node:t.id
+    ~leader:(N.leader_pid t.node)
+    ~term:(N.current_ballot t.node).N.n
+
 let session_reset t ~peer = N.session_reset t.node ~peer
 let propose t cmd = N.propose t.node cmd
 let is_leader t = N.is_leader t.node

@@ -41,6 +41,39 @@ module type PROTOCOL = sig
   val msg_size : msg -> int
 end
 
+(* Shared trace instrumentation for the protocol adapters: terms/views map
+   onto trace ballots as (term, 0, leader). [note_leader] is called from the
+   adapter's [tick]/decide paths and emits Leader_elected/Leader_changed on
+   transitions; [note_decided] reports decided-index advances. Everything is
+   behind the [Obs.Trace.on] guard, so it costs one branch when tracing is
+   off. *)
+module Obs_hooks = struct
+  type t = { mutable last_leader : (int * int) option (* (pid, term) *) }
+
+  let create () = { last_leader = None }
+
+  let note_leader s ~node ~leader ~term =
+    if Obs.Trace.on () then
+      match leader with
+      | None -> ()
+      | Some pid ->
+          if s.last_leader <> Some (pid, term) then begin
+            let first = s.last_leader = None in
+            s.last_leader <- Some (pid, term);
+            let b = { Obs.Event.n = term; prio = 0; pid } in
+            Obs.Trace.emit ~node
+              (if first then Obs.Event.Leader_elected b
+               else Obs.Event.Leader_changed b)
+          end
+
+  let note_decided ~node ~term ~leader ~decided_idx =
+    if Obs.Trace.on () then
+      let b =
+        { Obs.Event.n = term; prio = 0; pid = Option.value leader ~default:(-1) }
+      in
+      Obs.Trace.emit ~node (Obs.Event.Decided { b; decided_idx })
+end
+
 (* Incrementally materialised list of decided command ids; adapters feed it
    from their decide/commit callbacks so queries are O(delta). *)
 module Decided_cache = struct

@@ -4,8 +4,10 @@
 module N = Raft.Node
 
 type t = {
+  id : int;
   node : N.t;
   cache : Protocol.Decided_cache.t;
+  obs : Protocol.Obs_hooks.t;
   mutable scanned : int;
 }
 
@@ -24,12 +26,22 @@ let scan t upto =
 let make ~pre_vote ~check_quorum ~id ~peers ~election_ticks ~rand ~send () =
   let cache = Protocol.Decided_cache.create () in
   let t_ref = ref None in
-  let on_commit idx = match !t_ref with Some t -> scan t idx | None -> () in
+  let on_commit idx =
+    match !t_ref with
+    | Some t ->
+        scan t idx;
+        Protocol.Obs_hooks.note_decided ~node:t.id
+          ~term:(N.current_term t.node) ~leader:(N.leader_pid t.node)
+          ~decided_idx:idx
+    | None -> ()
+  in
   let node =
     N.create ~id ~voters:(id :: peers) ~pre_vote ~check_quorum ~election_ticks
       ~rand ~persistent:(N.fresh_persistent ()) ~send ~on_commit ()
   in
-  let t = { node; cache; scanned = 0 } in
+  let t =
+    { id; node; cache; obs = Protocol.Obs_hooks.create (); scanned = 0 }
+  in
   t_ref := Some t;
   t
 
@@ -40,7 +52,12 @@ module Plain = struct
   let name = "Raft"
   let create = make ~pre_vote:false ~check_quorum:false
   let handle t ~src msg = N.handle t.node ~src msg
-  let tick t = N.tick t.node
+
+  let tick t =
+    N.tick t.node;
+    Protocol.Obs_hooks.note_leader t.obs ~node:t.id
+      ~leader:(N.leader_pid t.node) ~term:(N.current_term t.node)
+
   let session_reset t ~peer = N.session_reset t.node ~peer
   let propose t cmd = N.propose t.node cmd
   let is_leader t = N.is_leader t.node

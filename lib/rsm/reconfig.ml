@@ -43,6 +43,12 @@ type result = {
 
 let internal_id = -2
 
+(* Reconfiguration milestones traced at the harness level (node [-1] marks
+   cluster-wide milestones observed by the runner rather than a server). *)
+let trace_milestone ~node ~config_id milestone =
+  if Obs.Trace.on () then
+    Obs.Trace.emit ~node (Obs.Event.Reconfig { config_id; milestone })
+
 let count_client_cmds entries =
   List.fold_left
     (fun acc (e : Omnipaxos.Entry.t) ->
@@ -141,7 +147,10 @@ module Omni = struct
       && List.for_all
            (fun j -> replica_of t.servers.(j) cfg <> None)
            t.p.new_nodes
-    then t.migration_done_at <- Some (Net.now t.net)
+    then begin
+      t.migration_done_at <- Some (Net.now t.net);
+      trace_milestone ~node:(-1) ~config_id:cfg "migration-done"
+    end
 
   let election_ticks t =
     max 1
@@ -184,8 +193,10 @@ module Omni = struct
 
   and transition t s r0 =
     s.transitioned <- true;
-    if t.reconfig_committed_at = None then
+    if t.reconfig_committed_at = None then begin
       t.reconfig_committed_at <- Some (Net.now t.net);
+      trace_milestone ~node:s.id ~config_id:1 "stop-sign-decided"
+    end;
     let ss = Option.get (R.stop_sign r0) in
     let total = R.decided_idx r0 - 1 in
     (* Entries [0, total) precede the stop-sign. *)
@@ -220,6 +231,7 @@ module Omni = struct
       }
     in
     s.migration <- Some m;
+    trace_milestone ~node:s.id ~config_id:cfg "migration-start";
     for k = 0 to nsegs - 1 do
       let from_idx = k * seg_size in
       let upto = min total (from_idx + seg_size) in
@@ -579,7 +591,10 @@ module Raft_runner = struct
              | None -> false)
            t.nodes
        in
-       if committed then t.reconfig_committed_at <- Some (Net.now t.net));
+       if committed then begin
+         t.reconfig_committed_at <- Some (Net.now t.net);
+         trace_milestone ~node:(-1) ~config_id:1 "config-committed"
+       end);
     if t.migration_done_at = None && t.reconfig_committed_at <> None then
       if
         List.for_all
@@ -590,6 +605,7 @@ module Raft_runner = struct
           t.p.new_nodes
       then begin
         t.migration_done_at <- Some (Net.now t.net);
+        trace_milestone ~node:(-1) ~config_id:1 "migration-done";
         (* Only now do the removed servers shut down: they keep relaying
            until every member of the new configuration is functional. *)
         List.iter

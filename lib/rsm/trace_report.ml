@@ -1,0 +1,112 @@
+(** Post-hoc analysis of a recorded trace-event stream: per-kind counts,
+    leadership and decide-progress summaries, and the trace-driven
+    invariants. Used by the [opx trace] subcommand and the tests. *)
+
+type summary = {
+  events : int;
+  span_ms : float;  (** time of last event minus time of first *)
+  by_kind : (string * int) list;  (** sorted by kind name *)
+  nodes : int list;  (** emitting nodes, ascending (harness milestones: -1) *)
+  leader_changes : int;  (** leader_elected + leader_changed events *)
+  decides : int;
+  max_decided_idx : int;
+  decide_gap : Obs.Metric.Histogram.t;
+      (** ms between consecutive decide events, cluster-wide *)
+  violations : (string * Obs.Invariant.violation list) list;
+      (** one entry per invariant with a non-empty violation list *)
+}
+
+let summarize (events : Obs.Event.t list) =
+  let by_kind = Hashtbl.create 24 in
+  let nodes = Hashtbl.create 16 in
+  let leader_changes = ref 0 in
+  let decides = ref 0 in
+  let max_decided = ref 0 in
+  let gaps = Obs.Metric.Histogram.create () in
+  let last_decide = ref None in
+  let first_t = ref nan and last_t = ref nan in
+  List.iter
+    (fun (e : Obs.Event.t) ->
+      if Float.is_nan !first_t then first_t := e.time;
+      last_t := e.time;
+      let k = Obs.Event.kind_name e.kind in
+      Hashtbl.replace by_kind k
+        (1 + Option.value (Hashtbl.find_opt by_kind k) ~default:0);
+      Hashtbl.replace nodes e.node ();
+      match e.kind with
+      | Obs.Event.Leader_elected _ | Obs.Event.Leader_changed _ ->
+          incr leader_changes
+      | Obs.Event.Decided { decided_idx; _ } ->
+          incr decides;
+          if decided_idx > !max_decided then max_decided := decided_idx;
+          (match !last_decide with
+          | Some t0 -> Obs.Metric.Histogram.observe gaps (e.time -. t0)
+          | None -> ());
+          last_decide := Some e.time
+      | _ -> ())
+    events;
+  let violations =
+    List.filter_map
+      (fun (name, r) ->
+        match r with Ok () -> None | Error v -> Some (name, [ v ]))
+      (Obs.Invariant.check_all events)
+  in
+  {
+    events = List.length events;
+    span_ms = (if Float.is_nan !first_t then 0.0 else !last_t -. !first_t);
+    by_kind =
+      List.sort compare
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_kind []);
+    nodes =
+      List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) nodes []);
+    leader_changes = !leader_changes;
+    decides = !decides;
+    max_decided_idx = !max_decided;
+    decide_gap = gaps;
+    violations;
+  }
+
+let passed s = s.violations = []
+
+(** Mean decide gap with a 95% t-based confidence interval, composing the
+    histogram's exact moments with [Metrics.Stats]. [nan]s when there are
+    fewer than two gaps. *)
+let decide_gap_ci s =
+  let h = s.decide_gap in
+  let n = Obs.Metric.Histogram.count h in
+  if n < 2 then (Float.nan, Float.nan)
+  else
+    let mean = Obs.Metric.Histogram.mean h in
+    let sd = Obs.Metric.Histogram.stddev h in
+    let ci =
+      Metrics.Stats.t_value ~df:(n - 1) *. sd /. sqrt (float_of_int n)
+    in
+    (mean, ci)
+
+let pp ppf s =
+  Format.fprintf ppf "@[<v>events: %d over %.1f ms (nodes:" s.events s.span_ms;
+  List.iter (fun i -> Format.fprintf ppf " %d" i) s.nodes;
+  Format.fprintf ppf ")@,";
+  List.iter
+    (fun (k, c) -> Format.fprintf ppf "  %-18s %d@," k c)
+    s.by_kind;
+  Format.fprintf ppf "leader changes: %d@," s.leader_changes;
+  Format.fprintf ppf "decide events: %d (max decided idx %d)@," s.decides
+    s.max_decided_idx;
+  (let mean, ci = decide_gap_ci s in
+   if not (Float.is_nan mean) then
+     Format.fprintf ppf "decide gap: %.2f +/- %.2f ms (p99 %.1f ms)@," mean ci
+       (Obs.Metric.Histogram.percentile s.decide_gap ~p:99.0));
+  (match s.violations with
+  | [] -> Format.fprintf ppf "invariants: PASS"
+  | vs ->
+      Format.fprintf ppf "invariants: FAIL";
+      List.iter
+        (fun (name, viols) ->
+          List.iter
+            (fun v ->
+              Format.fprintf ppf "@,  %s: %a" name Obs.Invariant.pp_violation
+                v)
+            viols)
+        vs);
+  Format.fprintf ppf "@]"

@@ -4,8 +4,10 @@
 module N = Vr.Node
 
 type t = {
+  id : int;
   node : N.t;
   cache : Protocol.Decided_cache.t;
+  obs : Protocol.Obs_hooks.t;
   mutable scanned : int;
 }
 
@@ -33,12 +35,20 @@ let create ~id ~peers ~election_ticks ~rand ~send () =
   let t_ref = ref None in
   let on_decide upto = match !t_ref with Some t -> scan t upto | None -> () in
   let node = N.create ~id ~peers ~election_ticks ~send ~on_decide () in
-  let t = { node; cache; scanned = 0 } in
+  let t =
+    { id; node; cache; obs = Protocol.Obs_hooks.create (); scanned = 0 }
+  in
   t_ref := Some t;
   t
 
 let handle t ~src msg = N.handle t.node ~src msg
-let tick t = N.tick t.node
+
+(* VR drives an embedded Sequence Paxos, which already emits Decided events;
+   here we only add leader/view transitions. *)
+let tick t =
+  N.tick t.node;
+  Protocol.Obs_hooks.note_leader t.obs ~node:t.id
+    ~leader:(N.leader_pid t.node) ~term:(N.view t.node)
 let session_reset t ~peer = N.session_reset t.node ~peer
 let propose t cmd = N.propose t.node (Omnipaxos.Entry.Cmd cmd)
 let is_leader t = N.is_leader t.node

@@ -3,11 +3,12 @@ type 'm pending = {
   p_dst : int;
   p_msg : 'm;
   p_session : int;
+  p_size : int;
   mutable p_remaining : int;
 }
 
 type 'm event =
-  | Deliver of { src : int; dst : int; session : int; msg : 'm }
+  | Deliver of { src : int; dst : int; session : int; size : int; msg : 'm }
   | Timer of (unit -> unit)
   | Session_reset of { node : int; peer : int; session : int }
   | Egress_step of { src : int; gen : int; completed : 'm pending option }
@@ -42,12 +43,16 @@ type 'm t = {
   sent_bytes_to : int array array;
   sent_msgs : int array;
   mutable delivered : int;
+  delivered_msgs : int array;  (* per receiving node *)
+  delivered_bytes : int array;  (* per receiving node *)
+  mutable delivered_bytes_total : int;
 }
 
 let create ?(seed = 42) ?(latency = 0.1) ?(egress_bw = infinity)
     ?(egress_chunk = 4096) ~num_nodes () =
   let n = num_nodes in
-  {
+  let t =
+    {
     n;
     rng = Random.State.make [| seed |];
     events = Event_heap.create ();
@@ -69,8 +74,16 @@ let create ?(seed = 42) ?(latency = 0.1) ?(egress_bw = infinity)
     sent_bytes = Array.make n 0;
     sent_bytes_to = Array.make_matrix n n 0;
     sent_msgs = Array.make n 0;
-    delivered = 0;
-  }
+      delivered = 0;
+      delivered_msgs = Array.make n 0;
+      delivered_bytes = Array.make n 0;
+      delivered_bytes_total = 0;
+    }
+  in
+  (* Trace events emitted by the protocol layers carry simulated time; the
+     latest-created network owns the tracer clock (runs are sequential). *)
+  Obs.Trace.set_clock (fun () -> t.clock);
+  t
 
 let now t = t.clock
 let num_nodes t = t.n
@@ -93,11 +106,12 @@ let schedule t ~delay f =
 
 let pair_connected t a b = t.up.(a).(b) && t.up.(b).(a)
 
-let schedule_delivery t ~src ~dst ~session msg =
+let schedule_delivery t ~src ~dst ~session ~size msg =
   let arrival = t.clock +. t.latency.(src).(dst) in
   let arrival = Float.max arrival t.last_delivery.(src).(dst) in
   t.last_delivery.(src).(dst) <- arrival;
-  Event_heap.push t.events ~time:arrival (Deliver { src; dst; session; msg })
+  Event_heap.push t.events ~time:arrival
+    (Deliver { src; dst; session; size; msg })
 
 (* Transmit the next chunk of the round-robin schedule. Must be called with
    the sender idle at the current clock. *)
@@ -134,24 +148,47 @@ let send t ~src ~dst ~size msg =
   if src = dst then invalid_arg "Net.send: src = dst";
   if t.node_up.(src) && t.up.(src).(dst) then begin
     t.sent_msgs.(src) <- t.sent_msgs.(src) + 1;
+    if Obs.Trace.on () then
+      Obs.Trace.emit_at ~time:t.clock ~node:src
+        (Obs.Event.Msg_send { dst; size });
     let session = t.session.(src).(dst) in
     if t.egress_bw = infinity then begin
       t.sent_bytes.(src) <- t.sent_bytes.(src) + size;
       t.sent_bytes_to.(src).(dst) <- t.sent_bytes_to.(src).(dst) + size;
-      schedule_delivery t ~src ~dst ~session msg
+      schedule_delivery t ~src ~dst ~session ~size msg
     end
     else begin
       Queue.add
-        { p_dst = dst; p_msg = msg; p_session = session; p_remaining = size }
+        {
+          p_dst = dst;
+          p_msg = msg;
+          p_session = session;
+          p_size = size;
+          p_remaining = size;
+        }
         t.egress_queues.(src).(dst);
       if not t.egress_busy.(src) then pump_egress t src
     end
   end
+  else if Obs.Trace.on () then
+    Obs.Trace.emit_at ~time:t.clock ~node:src
+      (Obs.Event.Msg_drop
+         {
+           src;
+           dst;
+           reason = (if t.node_up.(src) then "link-down" else "src-down");
+         })
 
 let bump_session t a b =
   let s = t.session.(a).(b) + 1 in
   t.session.(a).(b) <- s;
   t.session.(b).(a) <- s;
+  if Obs.Trace.on () then begin
+    Obs.Trace.emit_at ~time:t.clock ~node:a
+      (Obs.Event.Session_up { peer = b; session = s });
+    Obs.Trace.emit_at ~time:t.clock ~node:b
+      (Obs.Event.Session_up { peer = a; session = s })
+  end;
   (* Notify both endpoints once the (zero-latency) reconnection completes.
      Delivered as events so handlers run in timestamp order. *)
   let notify node peer =
@@ -161,19 +198,44 @@ let bump_session t a b =
   notify a b;
   notify b a
 
+(* Trace a directional link transition; a connected pair losing its last
+   direction also drops the transport session at both endpoints. *)
+let trace_link_change t ~src ~dst ~was_connected ~up =
+  if Obs.Trace.on () then begin
+    Obs.Trace.emit_at ~time:t.clock ~node:src
+      (if up then Obs.Event.Link_heal { a = src; b = dst }
+       else Obs.Event.Link_cut { a = src; b = dst });
+    if was_connected && not (pair_connected t src dst) then begin
+      let s = t.session.(src).(dst) in
+      Obs.Trace.emit_at ~time:t.clock ~node:src
+        (Obs.Event.Session_drop { peer = dst; session = s });
+      Obs.Trace.emit_at ~time:t.clock ~node:dst
+        (Obs.Event.Session_drop { peer = src; session = s })
+    end
+  end
+
 let set_link_oneway t ~src ~dst up =
   check_node t src;
   check_node t dst;
   let was_connected = pair_connected t src dst in
+  let changed = t.up.(src).(dst) <> up in
   t.up.(src).(dst) <- up;
+  if changed then trace_link_change t ~src ~dst ~was_connected ~up;
   if (not was_connected) && pair_connected t src dst then bump_session t src dst
 
 let set_link t a b up =
   check_node t a;
   check_node t b;
   let was_connected = pair_connected t a b in
-  t.up.(a).(b) <- up;
-  t.up.(b).(a) <- up;
+  if t.up.(a).(b) <> up then begin
+    t.up.(a).(b) <- up;
+    trace_link_change t ~src:a ~dst:b ~was_connected ~up
+  end;
+  if t.up.(b).(a) <> up then begin
+    let was_connected = pair_connected t b a in
+    t.up.(b).(a) <- up;
+    trace_link_change t ~src:b ~dst:a ~was_connected ~up
+  end;
   if (not was_connected) && pair_connected t a b then bump_session t a b
 
 let link_up t a b =
@@ -207,6 +269,8 @@ let isolate t i =
 let crash t i =
   check_node t i;
   t.node_up.(i) <- false;
+  if Obs.Trace.on () then
+    Obs.Trace.emit_at ~time:t.clock ~node:i Obs.Event.Crashed;
   t.handlers.(i) <- None;
   t.session_handlers.(i) <- None;
   (* Unsent egress data is lost with the process. *)
@@ -217,6 +281,8 @@ let crash t i =
 let recover t i =
   check_node t i;
   t.node_up.(i) <- true;
+  if Obs.Trace.on () then
+    Obs.Trace.emit_at ~time:t.clock ~node:i Obs.Event.Recovered;
   (* Transport connections did not survive: bump the session with every
      currently-reachable peer so both sides observe a reconnection. *)
   for j = 0 to t.n - 1 do
@@ -230,7 +296,7 @@ let is_up t i =
 let dispatch t event =
   match event with
   | Timer f -> f ()
-  | Deliver { src; dst; session; msg } ->
+  | Deliver { src; dst; session; size; msg } ->
       if
         t.node_up.(dst) && t.node_up.(src) && t.up.(src).(dst)
         && session = t.session.(src).(dst)
@@ -238,8 +304,24 @@ let dispatch t event =
         match t.handlers.(dst) with
         | Some h ->
             t.delivered <- t.delivered + 1;
+            t.delivered_msgs.(dst) <- t.delivered_msgs.(dst) + 1;
+            t.delivered_bytes.(dst) <- t.delivered_bytes.(dst) + size;
+            t.delivered_bytes_total <- t.delivered_bytes_total + size;
+            if Obs.Trace.on () then
+              Obs.Trace.emit_at ~time:t.clock ~node:dst
+                (Obs.Event.Msg_deliver { src; size });
             h ~src msg
         | None -> ()
+      end
+      else if Obs.Trace.on () then begin
+        let reason =
+          if not t.node_up.(dst) then "dst-down"
+          else if not t.node_up.(src) then "src-down"
+          else if not t.up.(src).(dst) then "link-down"
+          else "stale-session"
+        in
+        Obs.Trace.emit_at ~time:t.clock ~node:dst
+          (Obs.Event.Msg_drop { src; dst; reason })
       end
   | Session_reset { node; peer; session } ->
       if t.node_up.(node) && session = t.session.(node).(peer) then begin
@@ -252,7 +334,7 @@ let dispatch t event =
         (match completed with
         | Some item ->
             schedule_delivery t ~src ~dst:item.p_dst ~session:item.p_session
-              item.p_msg
+              ~size:item.p_size item.p_msg
         | None -> ());
         pump_egress t src
       end
@@ -292,3 +374,12 @@ let messages_sent t i =
   t.sent_msgs.(i)
 
 let messages_delivered t = t.delivered
+let bytes_delivered t = t.delivered_bytes_total
+
+let messages_delivered_at t i =
+  check_node t i;
+  t.delivered_msgs.(i)
+
+let bytes_delivered_at t i =
+  check_node t i;
+  t.delivered_bytes.(i)

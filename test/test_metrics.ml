@@ -37,6 +37,35 @@ let test_longest_gap () =
   let s2 = series [ (0.0, 0); (10.0, 5) ] in
   checkf "trailing gap" 90.0 (Series.longest_gap s2 ~from:0.0 ~until:100.0)
 
+let test_edge_cases () =
+  let empty = series [] in
+  check_int "count_at on empty" 0 (Series.count_at empty 10.0);
+  check_int "total_between on empty" 0
+    (Series.total_between empty ~from:0.0 ~until:10.0);
+  checkf "longest_gap on empty spans the window" 10.0
+    (Series.longest_gap empty ~from:0.0 ~until:10.0);
+  checkf "longest_gap with until = from" 0.0
+    (Series.longest_gap empty ~from:5.0 ~until:5.0);
+  checkf "longest_gap with from > until" 0.0
+    (Series.longest_gap empty ~from:10.0 ~until:5.0);
+  let s = series [ (0.0, 0); (10.0, 5); (20.0, 9) ] in
+  check_int "total_between with from > until" 0
+    (Series.total_between s ~from:20.0 ~until:10.0);
+  (* Half-open window semantics: a sample exactly at [from] belongs to the
+     preceding window, one at [until] to this one. *)
+  check_int "sample at from excluded" 4
+    (Series.total_between s ~from:10.0 ~until:20.0);
+  check_int "sample at until included" 5
+    (Series.total_between s ~from:0.0 ~until:10.0);
+  check_int "adjacent windows don't double-count" 9
+    (Series.total_between s ~from:0.0 ~until:10.0
+    + Series.total_between s ~from:10.0 ~until:20.0);
+  (* Progress exactly at the window boundaries bounds the gap. *)
+  checkf "progress at both ends" 10.0
+    (Series.longest_gap s ~from:10.0 ~until:20.0);
+  check "windowed with until <= from is empty" true
+    (Series.windowed s ~from:10.0 ~until:10.0 ~window:5.0 = [])
+
 let test_windowed () =
   let s = series [ (0.0, 0); (5.0, 2); (15.0, 6); (25.0, 7) ] in
   let w = Series.windowed s ~from:0.0 ~until:30.0 ~window:10.0 in
@@ -60,6 +89,7 @@ let () =
           Alcotest.test_case "count_at" `Quick test_count_at;
           Alcotest.test_case "total_between" `Quick test_total_between;
           Alcotest.test_case "longest_gap" `Quick test_longest_gap;
+          Alcotest.test_case "edge cases" `Quick test_edge_cases;
           Alcotest.test_case "windowed" `Quick test_windowed;
         ] );
       ("stats", [ Alcotest.test_case "mean/stddev/ci" `Quick test_stats ]);

@@ -1,0 +1,273 @@
+(* Unit tests for the observability layer (lib/obs): ring-buffer semantics,
+   tracer sink fan-out and state restoration, histogram bucketing, and the
+   trace-driven invariant checkers (including catching an injected
+   two-leaders-for-one-ballot split-brain trace). *)
+
+module Ring = Obs.Ring
+module Trace = Obs.Trace
+module Event = Obs.Event
+module Metric = Obs.Metric
+module Invariant = Obs.Invariant
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-9))
+
+(* ---------------- ring buffer ---------------- *)
+
+let test_ring_basic () =
+  let r = Ring.create ~capacity:4 in
+  check_int "capacity" 4 (Ring.capacity r);
+  check_int "empty" 0 (Ring.length r);
+  check "empty to_list" true (Ring.to_list r = []);
+  Ring.push r 1;
+  Ring.push r 2;
+  check_int "partial fill" 2 (Ring.length r);
+  check "oldest first" true (Ring.to_list r = [ 1; 2 ])
+
+let test_ring_wraparound () =
+  let r = Ring.create ~capacity:4 in
+  for i = 1 to 10 do
+    Ring.push r i
+  done;
+  check_int "length capped at capacity" 4 (Ring.length r);
+  check "keeps the newest, oldest first" true (Ring.to_list r = [ 7; 8; 9; 10 ]);
+  (* Wrap exactly once more around the boundary. *)
+  Ring.push r 11;
+  check "still oldest first after another push" true
+    (Ring.to_list r = [ 8; 9; 10; 11 ]);
+  let seen = ref [] in
+  Ring.iter r (fun x -> seen := x :: !seen);
+  check "iter agrees with to_list" true (List.rev !seen = Ring.to_list r);
+  Ring.clear r;
+  check_int "clear empties" 0 (Ring.length r);
+  Ring.push r 42;
+  check "usable after clear" true (Ring.to_list r = [ 42 ])
+
+let test_ring_invalid_capacity () =
+  check "capacity 0 rejected" true
+    (try
+       ignore (Ring.create ~capacity:0);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- tracer ---------------- *)
+
+let ev ?(time = 1.0) ?(node = 0) kind = { Event.time; node; kind }
+
+let test_sink_fanout () =
+  let a = ref [] and b = ref [] in
+  let ia = Trace.subscribe (fun e -> a := e :: !a) in
+  let ib = Trace.subscribe (fun e -> b := e :: !b) in
+  Trace.set_enabled true;
+  check "hot with sinks" true (Trace.on ());
+  Trace.emit_at ~time:1.0 ~node:3 Event.Crashed;
+  check_int "first sink got it" 1 (List.length !a);
+  check_int "second sink got it" 1 (List.length !b);
+  Trace.unsubscribe ia;
+  Trace.emit_at ~time:2.0 ~node:3 Event.Recovered;
+  check_int "unsubscribed sink stops" 1 (List.length !a);
+  check_int "remaining sink continues" 2 (List.length !b);
+  (* Enabled but unsubscribed: the guard must be cold (the disabled-path
+     cost model bench/check_overhead.ml verifies relies on this). *)
+  Trace.unsubscribe ib;
+  check "enabled but unsubscribed is cold" false (Trace.on ());
+  (* Disabled with a sink: also cold, and emits are dropped. *)
+  let cnt = ref 0 in
+  let ic = Trace.subscribe (fun _ -> incr cnt) in
+  Trace.set_enabled false;
+  check "disabled is cold" false (Trace.on ());
+  Trace.emit_at ~time:3.0 ~node:0 Event.Crashed;
+  check_int "no events while disabled" 0 !cnt;
+  Trace.unsubscribe ic
+
+let test_with_recording () =
+  Trace.set_enabled false;
+  let v, events =
+    Trace.with_recording (fun () ->
+        Trace.emit_at ~time:1.0 ~node:2
+          (Event.Session_drop { peer = 0; session = 1 });
+        Trace.emit_at ~time:2.0 ~node:2
+          (Event.Session_up { peer = 0; session = 2 });
+        17)
+  in
+  check_int "returns the function's result" 17 v;
+  check_int "recorded both events" 2 (List.length events);
+  check "oldest first" true
+    ((List.hd events).Event.kind = Event.Session_drop { peer = 0; session = 1 });
+  check "tracer state restored" false (Trace.is_enabled ());
+  (* The bounded ring drops the oldest events of an over-long run. *)
+  let (), events =
+    Trace.with_recording ~capacity:3 (fun () ->
+        for i = 1 to 5 do
+          Trace.emit_at ~time:(float_of_int i) ~node:0 Event.Crashed
+        done)
+  in
+  check "over-capacity run keeps the newest" true
+    (List.map (fun (e : Event.t) -> e.time) events = [ 3.0; 4.0; 5.0 ])
+
+let test_event_json () =
+  let b = { Event.n = 3; prio = 1; pid = 2 } in
+  let j =
+    Event.to_json (ev ~time:12.5 ~node:1 (Event.Decided { b; decided_idx = 7 }))
+  in
+  check "decide json" true
+    (j = {|{"t":12.500,"node":1,"kind":"decide","ballot":{"n":3,"prio":1,"pid":2},"decided_idx":7}|});
+  let j =
+    Event.to_json
+      (ev (Event.Msg_drop { src = 0; dst = 1; reason = "link-down" }))
+  in
+  check "drop json has reason" true
+    (j = {|{"t":1.000,"node":0,"kind":"drop","src":0,"dst":1,"reason":"link-down"}|});
+  (* Strings are escaped defensively. *)
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  let j =
+    Event.to_json (ev (Event.Reconfig { config_id = 1; milestone = {|a"b|} }))
+  in
+  check "escaped quote" true (contains j {|a\"b|})
+
+(* ---------------- histogram ---------------- *)
+
+let test_histogram_bucketing () =
+  let h = Metric.Histogram.create () in
+  check "empty mean is nan" true (Float.is_nan (Metric.Histogram.mean h));
+  check "empty percentile is nan" true
+    (Float.is_nan (Metric.Histogram.percentile h ~p:50.0));
+  (* Base-2 log buckets: bucket 0 = [0,1), then [1,2), [2,4), [4,8)... *)
+  List.iter (Metric.Histogram.observe h) [ 0.0; 0.5; 1.0; 1.5; 3.0; 6.0; 6.0 ];
+  check_int "count" 7 (Metric.Histogram.count h);
+  checkf "sum" 18.0 (Metric.Histogram.sum h);
+  check "buckets are (upper-bound, count) ascending" true
+    (Metric.Histogram.buckets h = [ (1.0, 2); (2.0, 2); (4.0, 1); (8.0, 2) ]);
+  checkf "exact mean" (18.0 /. 7.0) (Metric.Histogram.mean h);
+  checkf "exact min" 0.0 (Metric.Histogram.min_value h);
+  checkf "exact max" 6.0 (Metric.Histogram.max_value h);
+  (* Negative samples clamp to 0 (bucket 0). *)
+  let h2 = Metric.Histogram.create () in
+  Metric.Histogram.observe h2 (-5.0);
+  checkf "negative clamped" 0.0 (Metric.Histogram.max_value h2);
+  check "clamped into bucket 0" true
+    (Metric.Histogram.buckets h2 = [ (1.0, 1) ]);
+  (* Percentiles interpolate within a bucket and are monotone. *)
+  let h3 = Metric.Histogram.create () in
+  for _ = 1 to 100 do
+    Metric.Histogram.observe h3 5.0
+  done;
+  let p50 = Metric.Histogram.percentile h3 ~p:50.0 in
+  check "p50 inside [4,8) bucket clamped to [5,5]" true (p50 = 5.0);
+  List.iter (fun x -> Metric.Histogram.observe h3 x) [ 100.0; 200.0 ];
+  let p50 = Metric.Histogram.percentile h3 ~p:50.0
+  and p99 = Metric.Histogram.percentile h3 ~p:99.0 in
+  check "percentile monotone" true (p50 <= p99);
+  check "p99 above the bulk" true (p99 > 5.0)
+
+let test_histogram_stddev () =
+  let h = Metric.Histogram.create () in
+  check "stddev of empty" true (Metric.Histogram.stddev h = 0.0);
+  Metric.Histogram.observe h 4.0;
+  check "stddev of one" true (Metric.Histogram.stddev h = 0.0);
+  List.iter (Metric.Histogram.observe h) [ 2.0; 6.0 ];
+  (* Samples 4, 2, 6: mean 4, sample variance ((0+4+4)/2) = 4. *)
+  checkf "sample stddev" 2.0 (Metric.Histogram.stddev h)
+
+let test_registry () =
+  let r = Metric.Registry.create () in
+  let c = Metric.Registry.counter r "decides" in
+  Metric.Counter.incr c;
+  Metric.Counter.add c 2;
+  check_int "same name, same counter" 3
+    (Metric.Counter.value (Metric.Registry.counter r "decides"));
+  Metric.Gauge.set (Metric.Registry.gauge r "leader") 4.0;
+  Metric.Histogram.observe (Metric.Registry.histogram r "gap_ms") 3.0;
+  check_int "one line per metric" 3 (List.length (Metric.Registry.to_lines r));
+  Metric.Registry.clear r;
+  check_int "clear resets" 0
+    (Metric.Counter.value (Metric.Registry.counter r "decides"))
+
+(* ---------------- invariants ---------------- *)
+
+let b1 = { Event.n = 5; prio = 0; pid = 1 }
+
+let legit_trace =
+  [
+    ev ~time:1.0 ~node:1 (Event.Ballot_increment b1);
+    ev ~time:2.0 ~node:1 (Event.Leader_elected b1);
+    ev ~time:3.0 ~node:1
+      (Event.Prepare_round { b = b1; log_idx = 0; decided_idx = 0 });
+    ev ~time:4.0 ~node:1 (Event.Accept_sent { b = b1; start_idx = 0; count = 3 });
+    ev ~time:5.0 ~node:2 (Event.Accepted_idx { b = b1; log_idx = 3 });
+    ev ~time:6.0 ~node:1 (Event.Decided { b = b1; decided_idx = 3 });
+    ev ~time:7.0 ~node:2 (Event.Decided { b = b1; decided_idx = 3 });
+  ]
+
+let test_invariants_pass () =
+  check "single leader ok" true
+    (Invariant.single_leader_per_ballot legit_trace = Ok ());
+  check "monotone ok" true
+    (Invariant.decided_prefix_monotonic legit_trace = Ok ());
+  check "check_all all green" true
+    (List.for_all (fun (_, r) -> r = Ok ()) (Invariant.check_all legit_trace))
+
+(* The injected split-brain: node 2 drives Accepts under node 1's ballot. *)
+let test_two_leaders_one_ballot () =
+  let bad =
+    legit_trace
+    @ [ ev ~time:8.0 ~node:2
+          (Event.Accept_sent { b = b1; start_idx = 3; count = 1 });
+      ]
+  in
+  match Invariant.single_leader_per_ballot bad with
+  | Ok () -> Alcotest.fail "two leaders under one ballot not detected"
+  | Error v ->
+      check "violation at the offending event" true (v.Invariant.at = 8.0);
+      check_int "offending node" 2 v.Invariant.node;
+      check "check_all reports it too" true
+        (List.exists
+           (fun (name, r) ->
+             name = "single-leader-per-ballot" && r <> Ok ())
+           (Invariant.check_all bad))
+
+let test_decided_regression_detected () =
+  let bad =
+    legit_trace @ [ ev ~time:9.0 ~node:2 (Event.Decided { b = b1; decided_idx = 1 }) ]
+  in
+  match Invariant.decided_prefix_monotonic bad with
+  | Ok () -> Alcotest.fail "decided-index regression not detected"
+  | Error v -> check_int "regressing node" 2 v.Invariant.node
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "basic" `Quick test_ring_basic;
+          Alcotest.test_case "wraparound" `Quick test_ring_wraparound;
+          Alcotest.test_case "invalid capacity" `Quick
+            test_ring_invalid_capacity;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "sink fan-out" `Quick test_sink_fanout;
+          Alcotest.test_case "with_recording" `Quick test_with_recording;
+          Alcotest.test_case "event json" `Quick test_event_json;
+        ] );
+      ( "metric",
+        [
+          Alcotest.test_case "histogram bucketing" `Quick
+            test_histogram_bucketing;
+          Alcotest.test_case "histogram stddev" `Quick test_histogram_stddev;
+          Alcotest.test_case "registry" `Quick test_registry;
+        ] );
+      ( "invariant",
+        [
+          Alcotest.test_case "clean trace passes" `Quick test_invariants_pass;
+          Alcotest.test_case "two leaders one ballot" `Quick
+            test_two_leaders_one_ballot;
+          Alcotest.test_case "decided regression" `Quick
+            test_decided_regression_detected;
+        ] );
+    ]

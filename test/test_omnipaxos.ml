@@ -195,6 +195,43 @@ let test_two_disconnected_qc_leaders () =
     (check_prefix_consistency
        (List.map (fun id -> R.read_decided (replica c id) ~from:0) [ 0; 1; 2; 3 ]))
 
+(* The trace-driven safety invariants hold over a full quorum-loss run: even
+   across the leader takeover, no two servers ever drive Prepare/Accept under
+   the same ballot, and no server's decided index regresses. *)
+let test_quorum_loss_trace_invariants () =
+  let (), events =
+    Obs.Trace.with_recording (fun () ->
+        let c = make_cluster ~n:5 () in
+        run_ms c 500.0;
+        ignore (propose_noops c ~first_id:0 ~count:10);
+        run_ms c 200.0;
+        (* Quorum loss: cut every link not involving server 0. *)
+        for a = 1 to 4 do
+          for b = a + 1 to 4 do
+            Net.set_link c.net a b false
+          done
+        done;
+        run_ms c 2000.0;
+        ignore (propose_noops c ~first_id:100 ~count:10);
+        run_ms c 500.0)
+  in
+  check "trace is non-empty" true (events <> []);
+  let has kind =
+    List.exists (fun (e : Obs.Event.t) -> Obs.Event.kind_name e.kind = kind)
+      events
+  in
+  check "trace has ballot takeover events" true (has "ballot_increment");
+  check "trace has link events" true (has "link_cut");
+  check "trace has decide events" true (has "decide");
+  List.iter
+    (fun (name, result) ->
+      match result with
+      | Ok () -> ()
+      | Error v ->
+          Alcotest.failf "invariant %s violated: %s" name
+            (Format.asprintf "%a" Obs.Invariant.pp_violation v))
+    (Obs.Invariant.check_all events)
+
 (* Cluster-level trim: compact, keep replicating, survive a leader change. *)
 let test_trim_end_to_end () =
   let c = make_cluster ~n:3 () in
@@ -241,6 +278,8 @@ let () =
             test_session_drop_resync;
           Alcotest.test_case "two disconnected QC leaders" `Quick
             test_two_disconnected_qc_leaders;
+          Alcotest.test_case "quorum loss trace invariants" `Quick
+            test_quorum_loss_trace_invariants;
           Alcotest.test_case "trim end to end" `Quick test_trim_end_to_end;
         ] );
     ]
