@@ -357,8 +357,49 @@ let micro_tests () =
            done;
            B.leader (node 0)))
   in
+  (* Chaos-harness data paths: the linearizability checker on an
+     episode-shaped history, and one whole seeded episode end to end. *)
+  let chaos_check =
+    let ops =
+      let rng = Random.State.make [| 11 |] in
+      let model = Hashtbl.create 4 in
+      List.init 240 (fun i ->
+          let t = float_of_int (2 * i) in
+          let key = "k" ^ string_of_int (Random.State.int rng 4) in
+          let base =
+            {
+              Chaos.Checker.o_id = i;
+              o_client = i mod 3;
+              o_key = key;
+              o_kind = Chaos.Checker.Get;
+              o_invoke = t;
+              o_return = Some (t +. 1.0);
+              o_result = None;
+            }
+          in
+          if Random.State.bool rng then begin
+            let v = "v" ^ string_of_int i in
+            Hashtbl.replace model key v;
+            { base with Chaos.Checker.o_kind = Chaos.Checker.Put v }
+          end
+          else
+            { base with Chaos.Checker.o_result = Some (Hashtbl.find_opt model key) })
+    in
+    Test.make ~name:"chaos: check 240-op history"
+      (Staged.stage (fun () -> Chaos.Checker.check_ops ops))
+  in
+  let chaos_episode =
+    let module Oc = Chaos.Campaign.Make (Rsm.Omni_adapter) in
+    let cfg = { Chaos.Campaign.default_config with steps = 6 } in
+    let schedule = Oc.schedule_of_seed cfg ~seed:5 in
+    Test.make ~name:"chaos: one omni episode"
+      (Staged.stage (fun () -> Oc.run_schedule cfg ~seed:5 ~schedule))
+  in
   Test.make_grouped ~name:"micro"
-    [ log_append; log_suffix; ballot_compare; sp_accept; ble_round ]
+    [
+      log_append; log_suffix; ballot_compare; sp_accept; ble_round;
+      chaos_check; chaos_episode;
+    ]
 
 let run_micro () =
   header "Micro-benchmarks (Bechamel): core data-path costs";

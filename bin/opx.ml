@@ -313,6 +313,95 @@ let trace_cmd =
           exit on a violation)")
     Term.(const run $ proto $ out $ seed $ servers $ partition_s $ cp)
 
+(* ---------------- chaos ---------------- *)
+
+let chaos_cmd =
+  let run proto episodes seed servers clients steps trace =
+    let runner =
+      match Chaos.Campaign.find_runner proto with
+      | Some r -> r
+      | None ->
+          Printf.eprintf "unknown protocol %S (try: %s)\n" proto
+            (String.concat ", "
+               (List.map
+                  (fun r -> r.Chaos.Campaign.cr_name)
+                  Chaos.Campaign.runners));
+          exit 2
+    in
+    let cfg =
+      {
+        Chaos.Campaign.default_config with
+        n = servers;
+        clients;
+        steps;
+      }
+    in
+    let s = runner.Chaos.Campaign.cr_run cfg ~seed ~episodes in
+    Format.printf "%a@?" Chaos.Campaign.pp_summary s;
+    match s.Chaos.Campaign.s_failures with
+    | [] -> ()
+    | f :: _ ->
+        (match trace with
+        | None -> ()
+        | Some file ->
+            (* Replay the first failure's minimal schedule with the tracer
+               on, so the violating run can be inspected event by event. *)
+            let _ =
+              Obs.Trace.with_jsonl ~file (fun () ->
+                  runner.Chaos.Campaign.cr_replay cfg
+                    ~seed:f.Chaos.Campaign.f_seed
+                    ~schedule:f.Chaos.Campaign.f_minimal)
+            in
+            pf "trace of minimal failing schedule (seed %d) written to %s\n"
+              f.Chaos.Campaign.f_seed file);
+        exit 1
+  in
+  let proto =
+    Arg.(
+      value & opt string "omni"
+      & info [ "protocol" ]
+          ~doc:
+            "Campaign to run: omni, raft, raft-pvcq, multipaxos, vr, or \
+             faulty-raft (a deliberately broken stale-read wrapper).")
+  in
+  let episodes =
+    Arg.(value & opt int 20 & info [ "episodes" ] ~doc:"Seeded episodes.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~doc:"Base seed; episode $(i,i) uses seed+$(i,i).")
+  in
+  let servers =
+    Arg.(value & opt int 3 & info [ "servers" ] ~doc:"Cluster size.")
+  in
+  let clients =
+    Arg.(value & opt int 3 & info [ "clients" ] ~doc:"Concurrent KV clients.")
+  in
+  let steps =
+    Arg.(
+      value & opt int 12
+      & info [ "steps" ] ~doc:"Nemesis fault opcodes per episode.")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "On failure, replay the first minimal failing schedule and \
+             write its JSONL event trace to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Seeded chaos campaign: random fault schedules against concurrent \
+          KV clients, histories checked for linearizability; failing \
+          schedules are shrunk to a minimal fault list (non-zero exit on a \
+          violation)")
+    Term.(
+      const run $ proto $ episodes $ seed $ servers $ clients $ steps $ trace)
+
 (* ---------------- mcheck ---------------- *)
 
 let mcheck_cmd =
@@ -367,5 +456,6 @@ let () =
             chained_cmd;
             reconfig_cmd;
             trace_cmd;
+            chaos_cmd;
             mcheck_cmd;
           ]))

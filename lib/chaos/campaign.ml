@@ -1,0 +1,334 @@
+(* Seeded chaos campaigns; see the .mli for the episode structure. *)
+
+module Net = Simnet.Net
+
+type config = {
+  n : int;
+  clients : int;
+  keys : int;
+  steps : int;
+  step_ms : float;
+  warmup_ms : float;
+  grace_ms : float;
+  tick_ms : float;
+  election_timeout_ms : float;
+  op_timeout_ms : float;
+  latency_ms : float;
+  max_states : int;
+}
+
+let default_config =
+  {
+    n = 3;
+    clients = 3;
+    keys = 4;
+    steps = 12;
+    step_ms = 100.0;
+    warmup_ms = 300.0;
+    grace_ms = 500.0;
+    tick_ms = 5.0;
+    election_timeout_ms = 50.0;
+    op_timeout_ms = 300.0;
+    latency_ms = 5.0;
+    max_states = 2_000_000;
+  }
+
+type episode = {
+  ep_seed : int;
+  ep_schedule : Nemesis.fault list;
+  ep_applied : int;
+  ep_completed : int;
+  ep_timeouts : int;
+  ep_check : Checker.result;
+}
+
+type failure = {
+  f_seed : int;
+  f_schedule : Nemesis.fault list;
+  f_minimal : Nemesis.fault list;
+  f_violation : Checker.violation;
+}
+
+type summary = {
+  s_protocol : string;
+  s_seed : int;
+  s_episodes : int;
+  s_ops : int;
+  s_completed : int;
+  s_timeouts : int;
+  s_faults : int;
+  s_states : int;
+  s_truncated : int;
+  s_failures : failure list;
+}
+
+let pp_summary ppf s =
+  Format.fprintf ppf "protocol: %s@." s.s_protocol;
+  Format.fprintf ppf "episodes: %d  base seed: %d@." s.s_episodes s.s_seed;
+  Format.fprintf ppf "ops: %d (completed %d, timeouts %d)@." s.s_ops
+    s.s_completed s.s_timeouts;
+  Format.fprintf ppf "faults applied: %d@." s.s_faults;
+  Format.fprintf ppf "checker states: %d  truncated episodes: %d@." s.s_states
+    s.s_truncated;
+  Format.fprintf ppf "violations: %d@." (List.length s.s_failures);
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "FAILURE seed=%d@." f.f_seed;
+      Format.fprintf ppf "  schedule (%d): %a@."
+        (List.length f.f_schedule)
+        Nemesis.pp_schedule f.f_schedule;
+      Format.fprintf ppf "  minimal (%d): %a@."
+        (List.length f.f_minimal)
+        Nemesis.pp_schedule f.f_minimal;
+      Format.fprintf ppf "  %a" Checker.pp_violation f.f_violation)
+    s.s_failures
+
+module Make (P : Rsm.Protocol.PROTOCOL) = struct
+  module C = Rsm.Cluster.Make (P)
+  module Kv_client = Rsm.Client.Kv
+  module History = Rsm.Client.History
+
+  let schedule_of_seed cfg ~seed =
+    let rng = Random.State.make [| seed; 0xfa07 |] in
+    Nemesis.random_schedule ~rng ~n:cfg.n ~length:cfg.steps
+
+  let run_schedule cfg ~seed ~schedule =
+    let t =
+      C.create
+        {
+          Rsm.Cluster.n = cfg.n;
+          tick_ms = cfg.tick_ms;
+          election_timeout_ms = cfg.election_timeout_ms;
+          latency_ms = cfg.latency_ms;
+          egress_bw = infinity;
+          seed;
+        }
+    in
+    let net = C.net t in
+    (* Response oracle: replay each server's decided-command stream against
+       its own KV replica; an operation's response is whatever the
+       *submission* server's state machine returned when it applied it. *)
+    let commands : (int, Replog.Command.t) Hashtbl.t = Hashtbl.create 256 in
+    let results : (int * int, Replog.Kv.result) Hashtbl.t =
+      Hashtbl.create 256
+    in
+    let kvs = Array.init cfg.n (fun _ -> Replog.Kv.create ()) in
+    let scanned = Array.make cfg.n 0 in
+    let advance () =
+      for i = 0 to cfg.n - 1 do
+        let ids = P.decided_ids (C.node t i) ~from:scanned.(i) in
+        List.iter
+          (fun id ->
+            match Hashtbl.find_opt commands id with
+            | None -> ()
+            | Some cmd ->
+                Hashtbl.replace results (i, id) (Replog.Kv.apply kvs.(i) cmd))
+          ids;
+        scanned.(i) <- scanned.(i) + List.length ids
+      done
+    in
+    let rec advance_loop () =
+      Net.schedule net ~delay:cfg.tick_ms (fun () ->
+          advance ();
+          advance_loop ())
+    in
+    advance_loop ();
+    let history = History.create () in
+    let next_id = ref 0 in
+    let live_nodes () =
+      List.filter (fun i -> Net.is_up net i) (List.init cfg.n (fun i -> i))
+    in
+    let make_client k =
+      let rng = Random.State.make [| seed; k; 0xc11e |] in
+      (* Reads go to a uniformly random live server half the time (a correct
+         protocol just refuses at non-leaders; a local-read bug gets
+         exercised at stale leaders); everything else to the perceived
+         leader. *)
+      let choose_node ~read =
+        if read && Random.State.bool rng then
+          match live_nodes () with
+          | [] -> None
+          | live ->
+              Some (List.nth live (Random.State.int rng (List.length live)))
+        else C.leader t
+      in
+      Kv_client.start ~history ~client:k ~rng ~keys:cfg.keys
+        ~timeout_ms:cfg.op_timeout_ms ~poll_ms:cfg.tick_ms
+        {
+          Kv_client.kc_now = (fun () -> C.now t);
+          kc_choose_node = choose_node;
+          kc_submit =
+            (fun ~node cmd ->
+              Hashtbl.replace commands cmd.Replog.Command.id cmd;
+              C.propose_at t ~node cmd);
+          kc_result = (fun ~node ~op_id -> Hashtbl.find_opt results (node, op_id));
+          kc_schedule = (fun ~delay f -> Net.schedule net ~delay f);
+          kc_next_id =
+            (fun () ->
+              let id = !next_id in
+              incr next_id;
+              id);
+        }
+    in
+    let clients = Array.init cfg.clients make_client in
+    let env =
+      {
+        Nemesis.net;
+        crash_node = C.crash t;
+        recover_node = C.recover t;
+        base_latency = cfg.latency_ms;
+      }
+    in
+    let nst = Nemesis.initial ~n:cfg.n in
+    C.run_ms t cfg.warmup_ms;
+    let applied = ref 0 in
+    List.iteri
+      (fun step fault ->
+        if Nemesis.apply env nst ~step fault then incr applied;
+        C.run_ms t cfg.step_ms)
+      schedule;
+    Nemesis.heal env nst;
+    C.run_ms t cfg.grace_ms;
+    Array.iter Kv_client.stop clients;
+    let check = Checker.check ~max_states:cfg.max_states history in
+    {
+      ep_seed = seed;
+      ep_schedule = schedule;
+      ep_applied = !applied;
+      ep_completed =
+        Array.fold_left (fun a c -> a + Kv_client.completed c) 0 clients;
+      ep_timeouts =
+        Array.fold_left (fun a c -> a + Kv_client.timed_out c) 0 clients;
+      ep_check = check;
+    }
+
+  let run_episode cfg ~seed =
+    run_schedule cfg ~seed ~schedule:(schedule_of_seed cfg ~seed)
+
+  let fails cfg ~seed ~schedule =
+    (run_schedule cfg ~seed ~schedule).ep_check.Checker.r_violation <> None
+
+  let shrink cfg ~seed ~schedule =
+    let rec go sched =
+      let len = List.length sched in
+      let rec try_at i =
+        if i >= len then sched
+        else
+          let cand = List.filteri (fun j _ -> j <> i) sched in
+          if fails cfg ~seed ~schedule:cand then go cand else try_at (i + 1)
+      in
+      try_at 0
+    in
+    go schedule
+
+  let run ?(on_episode = fun _ -> ()) cfg ~seed ~episodes =
+    let ops = ref 0
+    and completed = ref 0
+    and timeouts = ref 0
+    and faults = ref 0
+    and states = ref 0
+    and truncated = ref 0
+    and failures = ref [] in
+    for ep = 0 to episodes - 1 do
+      let ep_seed = seed + ep in
+      let e = run_episode cfg ~seed:ep_seed in
+      on_episode e;
+      ops := !ops + e.ep_check.Checker.r_ops;
+      completed := !completed + e.ep_completed;
+      timeouts := !timeouts + e.ep_timeouts;
+      faults := !faults + e.ep_applied;
+      states := !states + e.ep_check.Checker.r_states;
+      if e.ep_check.Checker.r_truncated then incr truncated;
+      match e.ep_check.Checker.r_violation with
+      | None -> ()
+      | Some v ->
+          let minimal = shrink cfg ~seed:ep_seed ~schedule:e.ep_schedule in
+          let re = run_schedule cfg ~seed:ep_seed ~schedule:minimal in
+          let violation =
+            Option.value re.ep_check.Checker.r_violation ~default:v
+          in
+          failures :=
+            {
+              f_seed = ep_seed;
+              f_schedule = e.ep_schedule;
+              f_minimal = minimal;
+              f_violation = violation;
+            }
+            :: !failures
+    done;
+    {
+      s_protocol = P.name;
+      s_seed = seed;
+      s_episodes = episodes;
+      s_ops = !ops;
+      s_completed = !completed;
+      s_timeouts = !timeouts;
+      s_faults = !faults;
+      s_states = !states;
+      s_truncated = !truncated;
+      s_failures = List.rev !failures;
+    }
+end
+
+(* ------------------------------------------------------------------ *)
+(* CLI dispatch                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type runner = {
+  cr_name : string;
+  cr_protocol : string;
+  cr_run :
+    ?on_episode:(episode -> unit) -> config -> seed:int -> episodes:int ->
+    summary;
+  cr_replay : config -> seed:int -> schedule:Nemesis.fault list -> episode;
+}
+
+module Omni_campaign = Make (Rsm.Omni_adapter)
+module Raft_campaign = Make (Rsm.Raft_adapter.Plain)
+module Raft_pvcq_campaign = Make (Rsm.Raft_adapter.Pv_cq)
+module Multipaxos_campaign = Make (Rsm.Multipaxos_adapter)
+module Vr_campaign = Make (Rsm.Vr_adapter)
+module Faulty_raft_campaign = Make (Faulty.Make (Rsm.Raft_adapter.Plain))
+
+let runners =
+  [
+    {
+      cr_name = "omni";
+      cr_protocol = Rsm.Omni_adapter.name;
+      cr_run = Omni_campaign.run;
+      cr_replay = Omni_campaign.run_schedule;
+    };
+    {
+      cr_name = "raft";
+      cr_protocol = Rsm.Raft_adapter.Plain.name;
+      cr_run = Raft_campaign.run;
+      cr_replay = Raft_campaign.run_schedule;
+    };
+    {
+      cr_name = "raft-pvcq";
+      cr_protocol = Rsm.Raft_adapter.Pv_cq.name;
+      cr_run = Raft_pvcq_campaign.run;
+      cr_replay = Raft_pvcq_campaign.run_schedule;
+    };
+    {
+      cr_name = "multipaxos";
+      cr_protocol = Rsm.Multipaxos_adapter.name;
+      cr_run = Multipaxos_campaign.run;
+      cr_replay = Multipaxos_campaign.run_schedule;
+    };
+    {
+      cr_name = "vr";
+      cr_protocol = Rsm.Vr_adapter.name;
+      cr_run = Vr_campaign.run;
+      cr_replay = Vr_campaign.run_schedule;
+    };
+    {
+      cr_name = "faulty-raft";
+      cr_protocol = Rsm.Raft_adapter.Plain.name ^ " (stale reads)";
+      cr_run = Faulty_raft_campaign.run;
+      cr_replay = Faulty_raft_campaign.run_schedule;
+    };
+  ]
+
+let find_runner name =
+  List.find_opt (fun r -> r.cr_name = name) runners

@@ -1,0 +1,106 @@
+(** Seeded chaos campaigns: N episodes of [nemesis faults + concurrent KV
+    clients], each checked for linearizability.
+
+    Everything in an episode — network delivery, client workload, nemesis
+    schedule — derives from a single integer seed, so a campaign replays
+    bit-identically: running the same (protocol, seed, episodes, config)
+    twice produces the same {!summary}, and a failing schedule can be
+    shrunk by re-running subsets of its fault opcodes under the same seed.
+
+    An episode: create a cluster, start [clients] closed-loop KV clients,
+    warm up, apply the schedule one opcode per [step_ms], heal, run a grace
+    period, then check the recorded history. A violation is shrunk to a
+    1-minimal fault schedule (dropping any single remaining opcode makes
+    the episode pass). *)
+
+type config = {
+  n : int;  (** servers *)
+  clients : int;
+  keys : int;  (** KV key-space size; small so clients contend *)
+  steps : int;  (** nemesis opcodes per episode *)
+  step_ms : float;  (** time between nemesis steps *)
+  warmup_ms : float;  (** fault-free prefix (leader election) *)
+  grace_ms : float;  (** healed suffix (recovery/convergence) *)
+  tick_ms : float;
+  election_timeout_ms : float;
+  op_timeout_ms : float;  (** client gives up on an operation after this *)
+  latency_ms : float;
+  max_states : int;  (** checker budget per key *)
+}
+
+val default_config : config
+
+type episode = {
+  ep_seed : int;
+  ep_schedule : Nemesis.fault list;
+  ep_applied : int;  (** opcodes actually executed (guards may skip) *)
+  ep_completed : int;  (** client operations that got a response *)
+  ep_timeouts : int;
+  ep_check : Checker.result;
+}
+
+type failure = {
+  f_seed : int;
+  f_schedule : Nemesis.fault list;  (** the original failing schedule *)
+  f_minimal : Nemesis.fault list;  (** 1-minimal shrunk schedule *)
+  f_violation : Checker.violation;  (** from re-running [f_minimal] *)
+}
+
+type summary = {
+  s_protocol : string;
+  s_seed : int;
+  s_episodes : int;
+  s_ops : int;
+  s_completed : int;
+  s_timeouts : int;
+  s_faults : int;
+  s_states : int;
+  s_truncated : int;  (** episodes whose check hit the state budget *)
+  s_failures : failure list;
+}
+
+val pp_summary : Format.formatter -> summary -> unit
+(** Deterministic rendering (the reproducibility contract: two runs of the
+    same campaign print byte-identical summaries). *)
+
+module Make (P : Rsm.Protocol.PROTOCOL) : sig
+  val schedule_of_seed : config -> seed:int -> Nemesis.fault list
+
+  val run_schedule :
+    config -> seed:int -> schedule:Nemesis.fault list -> episode
+  (** One episode with an explicit schedule (the shrinker's primitive). *)
+
+  val run_episode : config -> seed:int -> episode
+  (** [run_schedule] with the seed's own schedule. *)
+
+  val shrink :
+    config -> seed:int -> schedule:Nemesis.fault list -> Nemesis.fault list
+  (** Greedy fixpoint of single-opcode deletions; the result still fails
+      and is 1-minimal. *)
+
+  val run :
+    ?on_episode:(episode -> unit) ->
+    config ->
+    seed:int ->
+    episodes:int ->
+    summary
+  (** Episode [i] uses seed [seed + i]; failing episodes are shrunk. *)
+end
+
+(** First-class campaign runners for CLI dispatch. *)
+type runner = {
+  cr_name : string;  (** CLI name, e.g. ["omni"], ["faulty-raft"] *)
+  cr_protocol : string;  (** protocol display name *)
+  cr_run :
+    ?on_episode:(episode -> unit) -> config -> seed:int -> episodes:int ->
+    summary;
+  cr_replay : config -> seed:int -> schedule:Nemesis.fault list -> episode;
+      (** re-run one explicit schedule (e.g. a shrunk failure, under a
+          tracer) *)
+}
+
+val runners : runner list
+(** [omni], [raft], [raft-pvcq], [multipaxos], [vr], plus [faulty-raft]
+    (the deliberately broken stale-read wrapper; expected to fail). *)
+
+val find_runner : string -> runner option

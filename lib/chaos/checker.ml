@@ -1,0 +1,270 @@
+(* Memoised Wing–Gong linearizability search over per-key KV histories.
+   See the .mli for the algorithm notes. *)
+
+type op_kind = Put of string | Get | Del
+
+type op = {
+  o_id : int;
+  o_client : int;
+  o_key : string;
+  o_kind : op_kind;
+  o_invoke : float;
+  o_return : float option;
+  o_result : string option option;
+}
+
+type violation = { v_key : string; v_ops : op list }
+
+type result = {
+  r_ops : int;
+  r_pending : int;
+  r_keys : int;
+  r_states : int;
+  r_truncated : bool;
+  r_violation : violation option;
+}
+
+let pp_op ppf o =
+  let kind =
+    match o.o_kind with
+    | Put v -> Printf.sprintf "put(%s=%s)" o.o_key v
+    | Get -> Printf.sprintf "get(%s)" o.o_key
+    | Del -> Printf.sprintf "del(%s)" o.o_key
+  in
+  let outcome =
+    match (o.o_return, o.o_result) with
+    | None, _ -> "pending"
+    | Some t, Some (Some v) -> Printf.sprintf "-> %s @%.1f" v t
+    | Some t, Some None -> Printf.sprintf "-> nil @%.1f" t
+    | Some t, None -> Printf.sprintf "-> ok @%.1f" t
+  in
+  Format.fprintf ppf "c%d #%d %s @%.1f %s" o.o_client o.o_id kind o.o_invoke
+    outcome
+
+let pp_violation ppf v =
+  Format.fprintf ppf "key %s, %d ops:@." v.v_key (List.length v.v_ops);
+  List.iter (fun o -> Format.fprintf ppf "  %a@." pp_op o) v.v_ops
+
+(* ------------------------------------------------------------------ *)
+(* History -> operations                                               *)
+(* ------------------------------------------------------------------ *)
+
+module H = Rsm.Client.History
+
+type builder = {
+  b_id : int;
+  b_client : int;
+  b_key : string;
+  b_kind : op_kind;
+  b_invoke : float;
+  mutable b_return : float option;
+  mutable b_result : string option option;
+}
+
+let ops_of_history history =
+  let tbl = Hashtbl.create 256 in
+  let order = ref [] in
+  List.iter
+    (fun (e : H.entry) ->
+      match e.H.h_event with
+      | H.Invoke { client; op_id; node = _; op } -> (
+          let mk key kind =
+            let b =
+              {
+                b_id = op_id;
+                b_client = client;
+                b_key = key;
+                b_kind = kind;
+                b_invoke = e.H.h_time;
+                b_return = None;
+                b_result = None;
+              }
+            in
+            Hashtbl.replace tbl op_id b;
+            order := b :: !order
+          in
+          match op with
+          | Replog.Command.Kv_put (k, v) -> mk k (Put v)
+          | Replog.Command.Kv_get k -> mk k Get
+          | Replog.Command.Kv_del k -> mk k Del
+          | Replog.Command.Noop | Replog.Command.Blob _ -> ())
+      | H.Response { op_id; result; _ } -> (
+          match Hashtbl.find_opt tbl op_id with
+          | None -> ()
+          | Some b ->
+              b.b_return <- Some e.H.h_time;
+              (match result with
+              | Replog.Kv.Value v -> b.b_result <- Some v
+              | Replog.Kv.Ok_unit -> ()))
+      | H.Timeout _ -> ())
+    (H.events history);
+  List.rev_map
+    (fun b ->
+      {
+        o_id = b.b_id;
+        o_client = b.b_client;
+        o_key = b.b_key;
+        o_kind = b.b_kind;
+        o_invoke = b.b_invoke;
+        o_return = b.b_return;
+        o_result = b.b_result;
+      })
+    !order
+
+(* ------------------------------------------------------------------ *)
+(* Per-key search                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Pending reads carry no observable result and do not change the model
+   state: drop them. Sort by invocation for a deterministic search order. *)
+let prepare ops =
+  List.sort
+    (fun a b ->
+      match compare a.o_invoke b.o_invoke with
+      | 0 -> compare a.o_id b.o_id
+      | c -> c)
+    (List.filter (fun o -> not (o.o_return = None && o.o_kind = Get)) ops)
+
+(* Search one key's operations. Returns (linearizable, states, truncated);
+   [truncated = true] means the verdict is unknown, never a violation. *)
+let search ~max_states ops =
+  let ops = Array.of_list ops in
+  let m = Array.length ops in
+  if m = 0 then (true, 0, false)
+  else begin
+    let completed = Array.map (fun o -> o.o_return <> None) ops in
+    let n_completed =
+      Array.fold_left (fun a c -> if c then a + 1 else a) 0 completed
+    in
+    let nbytes = (m + 7) / 8 in
+    let set = Bytes.make nbytes '\000' in
+    let get_bit i =
+      Char.code (Bytes.get set (i lsr 3)) land (1 lsl (i land 7)) <> 0
+    in
+    let flip_bit i =
+      Bytes.set set (i lsr 3)
+        (Char.chr (Char.code (Bytes.get set (i lsr 3)) lxor (1 lsl (i land 7))))
+    in
+    (* Memo of fully-explored failed states, keyed by (linearised set,
+       model value). *)
+    let memo : (string * string option, unit) Hashtbl.t =
+      Hashtbl.create 1024
+    in
+    let states = ref 0 in
+    let truncated = ref false in
+    let rec dfs value ndone =
+      if ndone = n_completed then true
+      else begin
+        let key = (Bytes.to_string set, value) in
+        if Hashtbl.mem memo key then false
+        else if !states >= max_states then begin
+          truncated := true;
+          false
+        end
+        else begin
+          incr states;
+          (* The two smallest response times among un-linearised completed
+             operations: candidate [o] must have been invoked before every
+             *other* un-linearised operation responded. *)
+          let min1 = ref infinity and min1_i = ref (-1) and min2 = ref infinity in
+          for i = 0 to m - 1 do
+            if completed.(i) && not (get_bit i) then begin
+              let r = Option.get ops.(i).o_return in
+              if r < !min1 then begin
+                min2 := !min1;
+                min1 := r;
+                min1_i := i
+              end
+              else if r < !min2 then min2 := r
+            end
+          done;
+          let ok = ref false in
+          let i = ref 0 in
+          while (not !ok) && !i < m do
+            let idx = !i in
+            (if not (get_bit idx) then
+               let o = ops.(idx) in
+               let frontier = if idx = !min1_i then !min2 else !min1 in
+               if o.o_invoke <= frontier then begin
+                 let admissible, value' =
+                   match o.o_kind with
+                   | Put v -> (true, Some v)
+                   | Del -> (true, None)
+                   | Get ->
+                       ( (match o.o_result with
+                         | Some observed -> observed = value
+                         | None -> true),
+                         value )
+                 in
+                 if admissible then begin
+                   flip_bit idx;
+                   let nd = if completed.(idx) then ndone + 1 else ndone in
+                   if dfs value' nd then ok := true;
+                   flip_bit idx
+                 end
+               end);
+            incr i
+          done;
+          (* States explored after the budget ran out are cut short; only
+             fully-explored failures may poison the memo. *)
+          if (not !ok) && not !truncated then Hashtbl.replace memo key ();
+          !ok
+        end
+      end
+    in
+    let r = dfs None 0 in
+    (r, !states, !truncated)
+  end
+
+let linearizable ops =
+  let ok, _, _ = search ~max_states:max_int (prepare ops) in
+  ok
+
+(* 1-minimal violating subhistory: drop operations one at a time as long as
+   the remainder still fails. Minimisation re-checks are bounded; a
+   truncated re-check conservatively keeps the operation. *)
+let minimize ~max_states ops =
+  let still_fails l =
+    let ok, _, truncated = search ~max_states (prepare l) in
+    (not ok) && not truncated
+  in
+  let rec go l =
+    let len = List.length l in
+    let rec try_at i =
+      if i >= len then l
+      else
+        let cand = List.filteri (fun j _ -> j <> i) l in
+        if still_fails cand then go cand else try_at (i + 1)
+    in
+    try_at 0
+  in
+  go ops
+
+let check_ops ?(max_states = 2_000_000) ops =
+  let pending = List.length (List.filter (fun o -> o.o_return = None) ops) in
+  let keys = List.sort_uniq compare (List.map (fun o -> o.o_key) ops) in
+  let total_states = ref 0 in
+  let truncated = ref false in
+  let violation = ref None in
+  List.iter
+    (fun key ->
+      if !violation = None then begin
+        let key_ops = List.filter (fun o -> o.o_key = key) ops in
+        let ok, st, trunc = search ~max_states (prepare key_ops) in
+        total_states := !total_states + st;
+        if trunc then truncated := true
+        else if not ok then
+          violation :=
+            Some { v_key = key; v_ops = minimize ~max_states key_ops }
+      end)
+    keys;
+  {
+    r_ops = List.length ops;
+    r_pending = pending;
+    r_keys = List.length keys;
+    r_states = !total_states;
+    r_truncated = !truncated;
+    r_violation = !violation;
+  }
+
+let check ?max_states history = check_ops ?max_states (ops_of_history history)

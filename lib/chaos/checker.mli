@@ -1,0 +1,64 @@
+(** Linearizability checking of client KV histories (the chaos campaign's
+    oracle).
+
+    The algorithm is the Wing–Gong search in its memoised form (à la Lowe's
+    implementation): depth-first over linearisation orders, where an
+    operation may be linearised next only if no other un-linearised
+    *completed* operation returned before its invocation, with failed
+    search states memoised on (linearised-set, model value). Histories are
+    first partitioned per key — KV operations on different keys commute, so
+    each key is checked independently, which turns one exponential search
+    over the whole history into many small ones.
+
+    Operations with no response (client timeouts) are pending forever:
+    pending writes may be linearised at any point after their invocation or
+    never; pending reads carry no observable result and are dropped.
+
+    Worst-case cost is exponential in the number of concurrently pending
+    operations per key; [max_states] bounds the search (a truncated key is
+    reported as such and never as a violation). *)
+
+type op_kind = Put of string | Get | Del
+
+type op = {
+  o_id : int;
+  o_client : int;
+  o_key : string;
+  o_kind : op_kind;
+  o_invoke : float;
+  o_return : float option;  (** [None]: pending (timed out, no response) *)
+  o_result : string option option;
+      (** completed reads: the value returned ([None] = key absent) *)
+}
+
+type violation = {
+  v_key : string;
+  v_ops : op list;
+      (** a 1-minimal violating subhistory: removing any single operation
+          makes it linearisable again *)
+}
+
+type result = {
+  r_ops : int;  (** KV operations checked *)
+  r_pending : int;  (** operations with no response *)
+  r_keys : int;
+  r_states : int;  (** search states explored across all keys *)
+  r_truncated : bool;  (** some key hit [max_states]; not a violation *)
+  r_violation : violation option;
+}
+
+val ops_of_history : Rsm.Client.History.t -> op list
+(** Pair invocations with responses/timeouts; non-KV operations are
+    ignored. *)
+
+val check_ops : ?max_states:int -> op list -> result
+(** [max_states] defaults to 2,000,000 (per key). *)
+
+val check : ?max_states:int -> Rsm.Client.History.t -> result
+
+val linearizable : op list -> bool
+(** Whether one single-key operation list is linearisable (exposed for
+    tests; unbounded search). *)
+
+val pp_op : Format.formatter -> op -> unit
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,14 @@
+(** A deliberately broken protocol wrapper: the chaos harness's canary.
+
+    [Make (P)] behaves exactly like [P] except that a [Kv_get] proposed at a
+    server that *believes* it is the leader is served locally, from that
+    server's own decided prefix, without going through consensus. Under full
+    connectivity this is invisible (the leader's prefix is current), but a
+    partition that leaves a deposed leader still claiming leadership makes
+    the local read stale — a linearizability violation the campaign must
+    catch and shrink to a minimal fault schedule. Gating the bug on
+    [P.is_leader] keeps empty schedules passing, so minimal failing
+    schedules are non-trivial. *)
+
+module Make (P : Rsm.Protocol.PROTOCOL) :
+  Rsm.Protocol.PROTOCOL with type msg = P.msg

@@ -1,0 +1,65 @@
+(** The nemesis: declarative fault schedules compiled into simulated-network
+    actions.
+
+    A schedule is a plain list of fault opcodes, applied one per nemesis
+    step. Schedules are generated from a single PRNG seed (so a campaign
+    replays bit-identically) and shrink by deleting opcodes — the campaign's
+    minimisation loop re-runs subsets of a failing schedule under the same
+    seed.
+
+    Application is guarded: a [Crash] that would take down a majority and a
+    [Recover] of a live node are skipped (reported by {!apply} returning
+    [false]), so random schedules cannot wedge an episode for trivial
+    reasons. All faults are topology/latency/process faults; the final
+    {!heal} restores full connectivity, recovers every crashed node and
+    resets latencies, after which the protocols must resume. *)
+
+type fault =
+  | Crash of int
+  | Recover of int
+  | Flip_link of int * int  (** toggle both directions of a link *)
+  | Flip_oneway of { src : int; dst : int }
+      (** toggle one direction (half-duplex partial connectivity) *)
+  | Heal_all
+  | Isolate of int
+  | Quorum_loss of { hub : int }  (** the paper's Figure 1a shape *)
+  | Constrained of { qc : int; leader : int }  (** Figure 1b shape *)
+  | Chain of int list  (** Figure 1c generalised: only consecutive links *)
+  | Latency_spike of { a : int; b : int; ms : float }
+  | Reset_session of int * int
+      (** transport-session drop/re-establish without a topology change *)
+
+val pp_fault : Format.formatter -> fault -> unit
+val fault_to_string : fault -> string
+(** Compact rendering, e.g. ["crash(2)"], ["flip(0,1)"]. *)
+
+val pp_schedule : Format.formatter -> fault list -> unit
+(** Semicolon-separated opcode list. *)
+
+val random_schedule :
+  rng:Random.State.t -> n:int -> length:int -> fault list
+(** Draw [length] opcodes for an [n]-server cluster. The distribution mixes
+    link flips (35%), crash/recover (24%), the three paper partition shapes
+    (15%), isolation (5%), heals (8%), latency spikes (8%) and session
+    resets (5%). *)
+
+type 'm env = {
+  net : 'm Simnet.Net.t;
+  crash_node : int -> unit;  (** cluster-aware crash (drops the node) *)
+  recover_node : int -> unit;  (** cluster-aware fail-recovery restart *)
+  base_latency : float;  (** restored by [Heal_all] and {!heal} *)
+}
+
+type state
+(** Tracks which nodes the nemesis has crashed, for the majority guard. *)
+
+val initial : n:int -> state
+val crashed : state -> int list
+
+val apply : 'm env -> state -> step:int -> fault -> bool
+(** Execute one opcode; returns [false] if the guard skipped it. Emits an
+    [Obs.Event.Chaos_fault] when tracing is on. *)
+
+val heal : 'm env -> state -> unit
+(** End of the fault window: restore every link and latency and recover
+    every nemesis-crashed node. *)

@@ -22,6 +22,10 @@ type kind =
   | Msg_send of { dst : int; size : int }
   | Msg_deliver of { src : int; size : int }
   | Msg_drop of { src : int; dst : int; reason : string }
+  | Chaos_fault of { step : int; fault : string }
+  | Chaos_invoke of { client : int; op_id : int; op : string }
+  | Chaos_response of { client : int; op_id : int; result : string }
+  | Chaos_timeout of { client : int; op_id : int }
 
 type t = { time : float; node : int; kind : kind }
 
@@ -44,6 +48,10 @@ let kind_name = function
   | Msg_send _ -> "send"
   | Msg_deliver _ -> "deliver"
   | Msg_drop _ -> "drop"
+  | Chaos_fault _ -> "chaos_fault"
+  | Chaos_invoke _ -> "chaos_invoke"
+  | Chaos_response _ -> "chaos_response"
+  | Chaos_timeout _ -> "chaos_timeout"
 
 let pp_ballot ppf b =
   Format.fprintf ppf "(n=%d,prio=%d,pid=%d)" b.n b.prio b.pid
@@ -104,6 +112,16 @@ let to_json e =
     | Msg_drop { src; dst; reason } ->
         Printf.sprintf {|"src":%d,"dst":%d,"reason":"%s"|} src dst
           (escape reason)
+    | Chaos_fault { step; fault } ->
+        Printf.sprintf {|"step":%d,"fault":"%s"|} step (escape fault)
+    | Chaos_invoke { client; op_id; op } ->
+        Printf.sprintf {|"client":%d,"op_id":%d,"op":"%s"|} client op_id
+          (escape op)
+    | Chaos_response { client; op_id; result } ->
+        Printf.sprintf {|"client":%d,"op_id":%d,"result":"%s"|} client op_id
+          (escape result)
+    | Chaos_timeout { client; op_id } ->
+        Printf.sprintf {|"client":%d,"op_id":%d|} client op_id
   in
   if rest = "" then Printf.sprintf "{%s}" head
   else Printf.sprintf "{%s,%s}" head rest

@@ -36,6 +36,15 @@ type kind =
   | Msg_deliver of { src : int; size : int }
   | Msg_drop of { src : int; dst : int; reason : string }
       (** Reasons: "src-down", "dst-down", "link-down", "stale-session". *)
+  | Chaos_fault of { step : int; fault : string }
+      (** A chaos-campaign nemesis applied a fault ([fault] is its compact
+          rendering, e.g. "crash(2)"); [node] is -1 for cluster-wide faults. *)
+  | Chaos_invoke of { client : int; op_id : int; op : string }
+      (** A chaos client submitted operation [op_id] to server [node]. *)
+  | Chaos_response of { client : int; op_id : int; result : string }
+      (** Operation [op_id] completed at its submission server. *)
+  | Chaos_timeout of { client : int; op_id : int }
+      (** The client abandoned [op_id]; its effect may still appear later. *)
 
 type t = {
   time : float;  (** simulated milliseconds *)

@@ -26,3 +26,67 @@ val stop : t -> unit
 val series : t -> Metrics.Series.t
 val leader_changes : t -> int
 val decided : t -> int
+
+(** Client-visible operation histories: the raw material of the chaos
+    campaign's linearizability check (see [lib/chaos]). Every operation is
+    recorded as an invocation, later matched by a response (with the result
+    computed when the submission server applied it) or a timeout (the
+    operation stays pending forever — it may or may not take effect). *)
+module History : sig
+  type event =
+    | Invoke of {
+        client : int;
+        op_id : int;
+        node : int;  (** server the operation was submitted to *)
+        op : Replog.Command.op;
+      }
+    | Response of { client : int; op_id : int; result : Replog.Kv.result }
+    | Timeout of { client : int; op_id : int }
+
+  type entry = { h_time : float; h_event : event }
+  type t
+
+  val create : unit -> t
+  val record : t -> time:float -> event -> unit
+  val length : t -> int
+
+  val events : t -> entry list
+  (** In recording (i.e. chronological) order. *)
+
+  val pp_op : Format.formatter -> Replog.Command.op -> unit
+  val pp_result : Format.formatter -> Replog.Kv.result -> unit
+  val pp_event : Format.formatter -> event -> unit
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Closed-loop KV client: keeps exactly one operation outstanding, drawn
+    from a private PRNG over a small key space (45% put / 45% get / 10%
+    del, globally-unique put values), and records its history. *)
+module Kv : sig
+  type callbacks = {
+    kc_now : unit -> float;
+    kc_choose_node : read:bool -> int option;
+        (** where to submit the next operation ([None]: retry next poll) *)
+    kc_submit : node:int -> Replog.Command.t -> bool;
+    kc_result : node:int -> op_id:int -> Replog.Kv.result option;
+        (** the apply-time result once [node] has applied [op_id] *)
+    kc_schedule : delay:float -> (unit -> unit) -> unit;
+    kc_next_id : unit -> int;  (** globally unique command ids *)
+  }
+
+  type t
+
+  val start :
+    history:History.t ->
+    client:int ->
+    rng:Random.State.t ->
+    keys:int ->
+    timeout_ms:float ->
+    poll_ms:float ->
+    callbacks ->
+    t
+
+  val stop : t -> unit
+  val completed : t -> int
+  val timed_out : t -> int
+end

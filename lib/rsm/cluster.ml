@@ -50,12 +50,11 @@ module Make (P : Protocol.PROTOCOL) = struct
       P.create ~id ~peers ~election_ticks ~rand:(Net.rng net) ~send ()
     in
     let nodes = Array.init cfg.n make_node in
-    Array.iteri
-      (fun id node ->
-        Net.set_handler net id (fun ~src m -> P.handle node ~src m);
-        Net.set_session_handler net id (fun ~peer ->
-            P.session_reset node ~peer))
-      nodes;
+    let install_handlers id node =
+      Net.set_handler net id (fun ~src m -> P.handle node ~src m);
+      Net.set_session_handler net id (fun ~peer -> P.session_reset node ~peer)
+    in
+    Array.iteri install_handlers nodes;
     let t =
       {
         cfg;
@@ -99,6 +98,24 @@ module Make (P : Protocol.PROTOCOL) = struct
           | Some _ | None -> best := Some (id, P.decided_count node))
       t.nodes;
     Option.map fst !best
+
+  (* Fail-recovery fault hooks for the chaos campaigns and property tests.
+     [Net.crash] drops the node's handlers and in-flight traffic; the tick
+     loop already skips crashed nodes. [recover] restarts the protocol node
+     from its persistent state and re-wires it into the network. *)
+  let crash t i = Net.crash t.net i
+
+  let recover t i =
+    Net.recover t.net i;
+    let node = t.nodes.(i) in
+    P.restart node;
+    Net.set_handler t.net i (fun ~src m -> P.handle node ~src m);
+    Net.set_session_handler t.net i (fun ~peer -> P.session_reset node ~peer)
+
+  let propose_at t ~node cmd =
+    let ok = P.propose t.nodes.(node) cmd in
+    Obs.Metric.Counter.add (if ok then t.m_accepted else t.m_rejected) 1;
+    ok
 
   let propose_batch t ~leader ~first_id ~count =
     let node = t.nodes.(leader) in

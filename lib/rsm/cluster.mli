@@ -34,6 +34,19 @@ module Make (P : Protocol.PROTOCOL) : sig
       the one that has decided the most (during partial partitions several
       servers can claim leadership; only one makes progress). *)
 
+  val crash : t -> int -> unit
+  (** Crash a node: handlers and in-flight traffic are dropped and ticks
+      stop. The protocol instance is retained for {!recover}. *)
+
+  val recover : t -> int -> unit
+  (** Restart a crashed node under the fail-recovery model: the protocol is
+      rebuilt from its persistent state ([Protocol.PROTOCOL.restart]) and
+      re-wired into the network (sessions with reachable peers bump). *)
+
+  val propose_at : t -> node:int -> Replog.Command.t -> bool
+  (** Submit one arbitrary command at a specific server (the chaos
+      campaign's KV workload path). Returns false if refused. *)
+
   val propose_batch : t -> leader:int -> first_id:int -> count:int -> int
   (** Submit no-op commands with consecutive ids at [leader]; returns how
       many were accepted. *)

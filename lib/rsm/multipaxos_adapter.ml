@@ -51,6 +51,11 @@ let tick t =
     ~term:(N.current_ballot t.node).N.n
 
 let session_reset t ~peer = N.session_reset t.node ~peer
+
+(* Multi-Paxos exposes no storage abstraction: model synchronous full-state
+   persistence — a crash is a pause plus lost in-flight traffic, not an
+   amnesia restart (which would forget Phase-1 promises and break safety). *)
+let restart _t = ()
 let propose t cmd = N.propose t.node cmd
 let is_leader t = N.is_leader t.node
 let leader_pid t = N.leader_pid t.node

@@ -3,9 +3,11 @@
 module R = Omnipaxos.Replica
 
 type t = {
-  replica : R.t;
+  mutable replica : R.t;
   cache : Protocol.Decided_cache.t;
   mutable scanned : int;  (* log index up to which decided entries were read *)
+  build : unit -> R.t;
+      (* rebuild on the same stable storage (fail-recovery restarts) *)
 }
 
 type msg = R.msg
@@ -27,22 +29,24 @@ let scan t upto =
         end
   in
   take t.scanned entries;
-  t.scanned <- upto
+  (* [max]: recovery re-announces the decided index from storage; never let
+     an early (lower) announcement rewind the scan and duplicate ids. *)
+  t.scanned <- max t.scanned upto
 
 let make ?qc_signal ?connectivity_priority ~id ~peers ~election_ticks ~rand
     ~send () =
   ignore rand;
   let cache = Protocol.Decided_cache.create () in
+  let storage = R.Storage.create () in
   let t_ref = ref None in
   let on_decide idx =
     match !t_ref with Some t -> scan t idx | None -> ()
   in
-  let replica =
+  let build () =
     R.create ~id ~peers ?qc_signal ?connectivity_priority
-      ~hb_ticks:election_ticks ~storage:(R.Storage.create ()) ~send ~on_decide
-      ()
+      ~hb_ticks:election_ticks ~storage ~send ~on_decide ()
   in
-  let t = { replica; cache; scanned = 0 } in
+  let t = { replica = build (); cache; scanned = 0; build } in
   t_ref := Some t;
   t
 
@@ -52,6 +56,14 @@ let create ~id ~peers ~election_ticks ~rand ~send () =
 let handle t ~src msg = R.handle t.replica ~src msg
 let tick t = R.tick t.replica
 let session_reset t ~peer = R.session_reset t.replica ~peer
+
+(* Fail-recovery: volatile state is lost, the replica is rebuilt on its old
+   storage and runs the recovery protocol. [scanned] stays valid because the
+   decided prefix lives in the storage and only ever grows. *)
+let restart t =
+  let r = t.build () in
+  t.replica <- r;
+  R.recover r
 let propose t cmd = R.propose_cmd t.replica cmd
 let is_leader t = R.is_leader t.replica
 let leader_pid t = R.leader_pid t.replica
@@ -74,6 +86,7 @@ module No_qc_signal = struct
   let handle = handle
   let tick = tick
   let session_reset = session_reset
+  let restart = restart
   let propose = propose
   let is_leader = is_leader
   let leader_pid = leader_pid
@@ -96,6 +109,7 @@ module Connectivity_priority = struct
   let handle = handle
   let tick = tick
   let session_reset = session_reset
+  let restart = restart
   let propose = propose
   let is_leader = is_leader
   let leader_pid = leader_pid

@@ -23,6 +23,15 @@ module type PROTOCOL = sig
   val tick : t -> unit
   val session_reset : t -> peer:int -> unit
 
+  val restart : t -> unit
+  (** Fail-recovery restart after a [Simnet.Net.crash]/[recover] cycle:
+      rebuild volatile state from whatever the protocol persists to stable
+      storage. Omni-Paxos rebuilds its replica on the retained storage and
+      runs the paper's recovery protocol; Raft re-runs recovery on its
+      persistent term/vote/log; Multi-Paxos and VR have no storage
+      abstraction and model synchronous full-state persistence (the
+      instance is kept as-is — a pause, not an amnesia restart). *)
+
   val propose : t -> Replog.Command.t -> bool
   (** Returns false if this server cannot accept proposals (not the
       leader). *)

@@ -12,16 +12,21 @@ type t = {
 }
 
 let scan t upto =
-  let entries = N.read_committed t.node ~from:t.scanned in
-  List.iter
-    (fun (e : N.entry) ->
-      match e.N.data with
-      | N.Cmd c ->
-          if c.Replog.Command.id >= 0 then
-            Protocol.Decided_cache.note t.cache c.Replog.Command.id
-      | N.Config _ -> ())
-    entries;
-  t.scanned <- upto
+  (* [upto <= t.scanned] happens while the commit index regrows from 0 after
+     a fail-recovery restart: those entries are already noted, and reading
+     them again would ask for a negative-length slice. *)
+  if upto > t.scanned then begin
+    let entries = N.read_committed t.node ~from:t.scanned in
+    List.iter
+      (fun (e : N.entry) ->
+        match e.N.data with
+        | N.Cmd c ->
+            if c.Replog.Command.id >= 0 then
+              Protocol.Decided_cache.note t.cache c.Replog.Command.id
+        | N.Config _ -> ())
+      entries;
+    t.scanned <- upto
+  end
 
 let make ~pre_vote ~check_quorum ~id ~peers ~election_ticks ~rand ~send () =
   let cache = Protocol.Decided_cache.create () in
@@ -59,6 +64,11 @@ module Plain = struct
       ~leader:(N.leader_pid t.node) ~term:(N.current_term t.node)
 
   let session_reset t ~peer = N.session_reset t.node ~peer
+
+  (* Term, vote and log are Raft's persistent state (kept inside the node);
+     [N.recover] resets the volatile role/leader/commit-index view, which is
+     re-learned from the next leader's appends. *)
+  let restart t = N.recover t.node
   let propose t cmd = N.propose t.node cmd
   let is_leader t = N.is_leader t.node
   let leader_pid t = N.leader_pid t.node

@@ -50,6 +50,10 @@ let tick t =
   Protocol.Obs_hooks.note_leader t.obs ~node:t.id
     ~leader:(N.leader_pid t.node) ~term:(N.view t.node)
 let session_reset t ~peer = N.session_reset t.node ~peer
+
+(* VR's node (view + embedded Sequence Paxos) has no injectable storage:
+   like Multi-Paxos, crashes model synchronous full-state persistence. *)
+let restart _t = ()
 let propose t cmd = N.propose t.node (Omnipaxos.Entry.Cmd cmd)
 let is_leader t = N.is_leader t.node
 let leader_pid t = N.leader_pid t.node

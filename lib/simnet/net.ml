@@ -243,6 +243,28 @@ let link_up t a b =
   check_node t b;
   t.up.(a).(b)
 
+let reset_session t a b =
+  check_node t a;
+  check_node t b;
+  if a = b then invalid_arg "Net.reset_session: a = b";
+  if pair_connected t a b then begin
+    (* In-flight traffic of the old session is invalidated by the bump, as
+       with a real TCP reset; both endpoints are notified of the new one. *)
+    if Obs.Trace.on () then begin
+      let s = t.session.(a).(b) in
+      Obs.Trace.emit_at ~time:t.clock ~node:a
+        (Obs.Event.Session_drop { peer = b; session = s });
+      Obs.Trace.emit_at ~time:t.clock ~node:b
+        (Obs.Event.Session_drop { peer = a; session = s })
+    end;
+    bump_session t a b
+  end
+
+let link_latency t a b =
+  check_node t a;
+  check_node t b;
+  t.latency.(a).(b)
+
 let set_latency t a b l =
   check_node t a;
   check_node t b;

@@ -92,6 +92,15 @@ val link_up : 'm t -> int -> int -> bool
 val set_latency : 'm t -> int -> int -> float -> unit
 (** Set the one-way delay of both directions of the [a <-> b] link. *)
 
+val link_latency : 'm t -> int -> int -> float
+(** The current one-way delay of the [a -> b] direction. *)
+
+val reset_session : 'm t -> int -> int -> unit
+(** Tear down and immediately re-establish the transport session of a
+    connected pair (the equivalent of a TCP reset): in-flight messages of
+    the old session are invalidated and both endpoints get their session
+    handler invoked. No-op if the pair is not currently connected. *)
+
 val partition : 'm t -> int list -> int list -> unit
 (** Cut every link between the two groups. *)
 
