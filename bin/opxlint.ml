@@ -1,0 +1,82 @@
+(* opxlint — static determinism & protocol-safety analyzer over .cmt files.
+
+   Usage:
+     opxlint [--baseline FILE] [--write-baseline]
+             [--allow RULE:PATH-SUBSTRING]... [--rules D1,D2,...]
+             PATH...
+
+   PATHs are .cmt files or directories scanned recursively (point it at a
+   dune build tree, e.g. _build/default/lib or just lib from inside
+   _build). Prints findings as "file:line rule message" and exits 1 when
+   any finding is not absorbed by the baseline, 2 on usage/analysis
+   errors. *)
+
+let () =
+  let opts = ref Lint.Driver.default_options in
+  let usage =
+    "opxlint [--baseline FILE] [--write-baseline] [--allow RULE:SUBSTR]... \
+     [--rules D1,D2,...] PATH...\n\
+     Rules:\n"
+    ^ String.concat "\n"
+        (List.map
+           (fun r ->
+             Printf.sprintf "  %s  %s" (Lint.Finding.rule_name r)
+               (Lint.Finding.rule_doc r))
+           Lint.Finding.all_rules)
+  in
+  let bad fmt = Printf.ksprintf (fun m -> raise (Arg.Bad m)) fmt in
+  let parse_rule s =
+    match Lint.Finding.rule_of_string s with
+    | Some r -> r
+    | None -> bad "unknown rule %S" s
+  in
+  let spec =
+    [
+      ( "--baseline",
+        Arg.String
+          (fun f -> opts := { !opts with Lint.Driver.baseline_file = Some f }),
+        "FILE baseline of tolerated findings ('<rule> <file>' lines)" );
+      ( "--write-baseline",
+        Arg.Unit
+          (fun () -> opts := { !opts with Lint.Driver.write_baseline = true }),
+        " regenerate the baseline from the current findings and exit" );
+      ( "--allow",
+        Arg.String
+          (fun s ->
+            match String.index_opt s ':' with
+            | None -> bad "--allow expects RULE:PATH-SUBSTRING, got %S" s
+            | Some i ->
+                let rule = parse_rule (String.sub s 0 i) in
+                let sub = String.sub s (i + 1) (String.length s - i - 1) in
+                opts :=
+                  {
+                    !opts with
+                    Lint.Driver.allow = (rule, sub) :: !opts.Lint.Driver.allow;
+                  }),
+        "RULE:SUBSTR drop RULE findings in files whose path contains SUBSTR" );
+      ( "--rules",
+        Arg.String
+          (fun s ->
+            let rules =
+              List.map parse_rule
+                (List.filter
+                   (fun t -> not (String.equal t ""))
+                   (String.split_on_char ',' s))
+            in
+            opts := { !opts with Lint.Driver.rules = rules }),
+        "D1,D2,... run only the listed rules (default: all)" );
+    ]
+  in
+  let add_path p =
+    opts := { !opts with Lint.Driver.paths = p :: !opts.Lint.Driver.paths }
+  in
+  (try Arg.parse spec add_path usage
+   with Arg.Bad msg ->
+     prerr_endline msg;
+     exit 2);
+  (match !opts.Lint.Driver.paths with
+  | [] ->
+      prerr_endline usage;
+      exit 2
+  | _ :: _ -> ());
+  exit (Lint.Driver.run !opts)

@@ -206,7 +206,7 @@ module Make (P : Rsm.Protocol.PROTOCOL) = struct
     run_schedule cfg ~seed ~schedule:(schedule_of_seed cfg ~seed)
 
   let fails cfg ~seed ~schedule =
-    (run_schedule cfg ~seed ~schedule).ep_check.Checker.r_violation <> None
+    Option.is_some (run_schedule cfg ~seed ~schedule).ep_check.Checker.r_violation
 
   let shrink cfg ~seed ~schedule =
     let rec go sched =

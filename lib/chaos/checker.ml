@@ -117,13 +117,17 @@ let ops_of_history history =
 
 (* Pending reads carry no observable result and do not change the model
    state: drop them. Sort by invocation for a deterministic search order. *)
+let is_get = function Get -> true | Put _ | Del -> false
+
 let prepare ops =
   List.sort
     (fun a b ->
-      match compare a.o_invoke b.o_invoke with
-      | 0 -> compare a.o_id b.o_id
+      match Float.compare a.o_invoke b.o_invoke with
+      | 0 -> Int.compare a.o_id b.o_id
       | c -> c)
-    (List.filter (fun o -> not (o.o_return = None && o.o_kind = Get)) ops)
+    (List.filter
+       (fun o -> not (Option.is_none o.o_return && is_get o.o_kind))
+       ops)
 
 (* Search one key's operations. Returns (linearizable, states, truncated);
    [truncated = true] means the verdict is unknown, never a violation. *)
@@ -132,7 +136,7 @@ let search ~max_states ops =
   let m = Array.length ops in
   if m = 0 then (true, 0, false)
   else begin
-    let completed = Array.map (fun o -> o.o_return <> None) ops in
+    let completed = Array.map (fun o -> Option.is_some o.o_return) ops in
     let n_completed =
       Array.fold_left (fun a c -> if c then a + 1 else a) 0 completed
     in
@@ -192,7 +196,8 @@ let search ~max_states ops =
                    | Del -> (true, None)
                    | Get ->
                        ( (match o.o_result with
-                         | Some observed -> observed = value
+                         | Some observed ->
+                             Option.equal String.equal observed value
                          | None -> true),
                          value )
                  in
@@ -241,15 +246,19 @@ let minimize ~max_states ops =
   go ops
 
 let check_ops ?(max_states = 2_000_000) ops =
-  let pending = List.length (List.filter (fun o -> o.o_return = None) ops) in
-  let keys = List.sort_uniq compare (List.map (fun o -> o.o_key) ops) in
+  let pending =
+    List.length (List.filter (fun o -> Option.is_none o.o_return) ops)
+  in
+  let keys =
+    List.sort_uniq String.compare (List.map (fun o -> o.o_key) ops)
+  in
   let total_states = ref 0 in
   let truncated = ref false in
   let violation = ref None in
   List.iter
     (fun key ->
-      if !violation = None then begin
-        let key_ops = List.filter (fun o -> o.o_key = key) ops in
+      if Option.is_none !violation then begin
+        let key_ops = List.filter (fun o -> String.equal o.o_key key) ops in
         let ok, st, trunc = search ~max_states (prepare key_ops) in
         total_states := !total_states + st;
         if trunc then truncated := true

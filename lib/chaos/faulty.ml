@@ -41,7 +41,9 @@ module Make (P : Rsm.Protocol.PROTOCOL) = struct
         sync t;
         Rsm.Protocol.Decided_cache.note t.cache cmd.Replog.Command.id;
         true
-    | _ -> P.propose t.inner cmd
+    (* Deliberately-buggy adapter: only leader-local reads are intercepted;
+       every other operation takes the real consensus path. *)
+    | _ [@lint.allow "D4"] -> P.propose t.inner cmd
 
   let is_leader t = P.is_leader t.inner
   let leader_pid t = P.leader_pid t.inner

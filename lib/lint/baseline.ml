@@ -1,0 +1,91 @@
+(** Baseline file: pre-existing findings tolerated by the gate.
+
+    One entry per line, [<rule> <file>], e.g. [D4 lib/rsm/client.ml];
+    blank lines and [#] comments are skipped. Entries form a multiset: a
+    line absorbs exactly one finding with that rule in that file, so a
+    file that grows a second D4 after being baselined with one still
+    fails. Line numbers are deliberately absent — baselines must survive
+    unrelated edits above a finding. *)
+
+type entry = { b_rule : Finding.rule; b_file : string }
+
+let parse_line ~src ~lineno line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let line = String.trim line in
+  if String.equal line "" then Ok None
+  else
+    match String.index_opt line ' ' with
+    | None ->
+        Error
+          (Printf.sprintf "%s:%d: expected '<rule> <file>', got %S" src lineno
+             line)
+    | Some i -> (
+        let rule_s = String.sub line 0 i in
+        let file = String.trim (String.sub line i (String.length line - i)) in
+        match Finding.rule_of_string rule_s with
+        | None ->
+            Error (Printf.sprintf "%s:%d: unknown rule %S" src lineno rule_s)
+        | Some b_rule -> Ok (Some { b_rule; b_file = file }))
+
+let load path =
+  let ic = open_in path in
+  let entries = ref [] in
+  let errors = ref [] in
+  let lineno = ref 0 in
+  (try
+     while true do
+       incr lineno;
+       let line = input_line ic in
+       match parse_line ~src:path ~lineno:!lineno line with
+       | Ok None -> ()
+       | Ok (Some e) -> entries := e :: !entries
+       | Error msg -> errors := msg :: !errors
+     done
+   with End_of_file -> ());
+  close_in ic;
+  match !errors with
+  | [] -> Ok (List.rev !entries)
+  | errs -> Error (List.rev errs)
+
+(** Split findings into (new, absorbed-by-baseline); returns the unused
+    baseline entries too, so the caller can warn about stale lines. *)
+let apply entries findings =
+  let remaining = ref entries in
+  let fresh = ref [] in
+  let absorbed = ref [] in
+  List.iter
+    (fun (f : Finding.t) ->
+      let rec take acc = function
+        | [] -> None
+        | e :: rest ->
+            if
+              e.b_rule == f.Finding.rule
+              && String.equal e.b_file f.Finding.file
+            then Some (List.rev_append acc rest)
+            else take (e :: acc) rest
+      in
+      match take [] !remaining with
+      | Some rest ->
+          remaining := rest;
+          absorbed := f :: !absorbed
+      | None -> fresh := f :: !fresh)
+    findings;
+  (List.rev !fresh, List.rev !absorbed, !remaining)
+
+let write path findings =
+  let oc = open_out path in
+  output_string oc
+    "# opxlint baseline: tolerated pre-existing findings, one '<rule> \
+     <file>' per line.\n";
+  output_string oc "# Regenerate with: opxlint --write-baseline <paths>\n";
+  List.iter
+    (fun (f : Finding.t) ->
+      output_string oc
+        (Printf.sprintf "%s %s\n" (Finding.rule_name f.Finding.rule)
+           f.Finding.file))
+    findings;
+  close_out oc

@@ -1,0 +1,140 @@
+(** Scans build trees for [.cmt] files, runs the rules over each typed AST,
+    applies suppressions, per-path allowances and the baseline, and reports
+    findings as [file:line rule message] lines. *)
+
+let rec scan_cmts acc path =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc name -> scan_cmts acc (Filename.concat path name))
+      acc
+      (let entries = Sys.readdir path in
+       Array.sort String.compare entries;
+       entries)
+  else if Filename.check_suffix path ".cmt" then path :: acc
+  else acc
+
+type options = {
+  paths : string list;  (** directories (scanned recursively) or .cmt files *)
+  baseline_file : string option;
+  write_baseline : bool;
+  allow : (Finding.rule * string) list;
+      (** drop findings for [rule] in files whose path contains the
+          substring — e.g. [D3:lib/simnet/] for the simulated clock's own
+          implementation *)
+  rules : Finding.rule list;
+}
+
+let default_options =
+  {
+    paths = [];
+    baseline_file = None;
+    write_baseline = false;
+    allow = [];
+    rules = Finding.all_rules;
+  }
+
+let contains_substring ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i =
+    if i + nl > hl then false
+    else if String.equal (String.sub haystack i nl) needle then true
+    else go (i + 1)
+  in
+  nl = 0 || go 0
+
+let path_allowed opts (f : Finding.t) =
+  List.exists
+    (fun (rule, sub) ->
+      rule == f.Finding.rule && contains_substring ~needle:sub f.Finding.file)
+    opts.allow
+
+(* Unit name of a cmt file, e.g. ".../omnipaxos__Ble.cmt" -> "Omnipaxos__Ble".
+   Used to decide which type roots are project-defined without loading
+   environments. *)
+let modname_of_cmt_file path =
+  String.capitalize_ascii (Filename.chop_suffix (Filename.basename path) ".cmt")
+
+let analyze_file ~cfg path =
+  let cmt = Cmt_format.read_cmt path in
+  let file =
+    match cmt.Cmt_format.cmt_sourcefile with Some f -> f | None -> path
+  in
+  match cmt.Cmt_format.cmt_annots with
+  | Cmt_format.Implementation str -> Rules.run_structure ~cfg ~file str
+  | _ -> []
+
+let run opts =
+  let cmts =
+    List.sort String.compare
+      (List.concat_map (fun p -> scan_cmts [] p) opts.paths)
+  in
+  (match cmts with
+  | [] ->
+      prerr_endline "opxlint: no .cmt files found (build the tree first)";
+      exit 2
+  | _ :: _ -> ());
+  let cfg =
+    {
+      Rules.project_modules =
+        List.sort_uniq String.compare (List.map modname_of_cmt_file cmts);
+    }
+  in
+  let findings =
+    List.concat_map
+      (fun path ->
+        try analyze_file ~cfg path
+        with exn ->
+          prerr_endline
+            (Printf.sprintf "opxlint: cannot analyze %s: %s" path
+               (Printexc.to_string exn));
+          exit 2)
+      cmts
+  in
+  let findings =
+    findings
+    |> List.filter (fun (f : Finding.t) ->
+           List.exists (fun r -> r == f.Finding.rule) opts.rules)
+    |> List.filter (fun f -> not (path_allowed opts f))
+    |> List.sort Finding.order
+  in
+  if opts.write_baseline then begin
+    match opts.baseline_file with
+    | None ->
+        prerr_endline "opxlint: --write-baseline requires --baseline FILE";
+        exit 2
+    | Some file ->
+        Baseline.write file findings;
+        Printf.eprintf "opxlint: wrote %d entr%s to %s\n" (List.length findings)
+          (if List.length findings = 1 then "y" else "ies")
+          file;
+        0
+  end
+  else begin
+    let entries =
+      match opts.baseline_file with
+      | None -> []
+      | Some file -> (
+          match Baseline.load file with
+          | Ok entries -> entries
+          | Error msgs ->
+              List.iter prerr_endline msgs;
+              exit 2)
+    in
+    let fresh, absorbed, stale = Baseline.apply entries findings in
+    List.iter
+      (fun f -> print_endline (Finding.to_string f))
+      fresh;
+    List.iter
+      (fun (e : Baseline.entry) ->
+        Printf.eprintf
+          "opxlint: stale baseline entry '%s %s' (finding no longer \
+           present; remove it)\n"
+          (Finding.rule_name e.Baseline.b_rule)
+          e.Baseline.b_file)
+      stale;
+    Printf.eprintf "opxlint: %d file(s), %d finding(s), %d baselined\n"
+      (List.length cmts)
+      (List.length fresh + List.length absorbed)
+      (List.length absorbed);
+    match fresh with [] -> 0 | _ :: _ -> 1
+  end

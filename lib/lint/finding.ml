@@ -1,0 +1,48 @@
+(** A single analyzer finding: rule, location, human-readable message.
+
+    Findings print as [file:line rule message], the format grep, editors
+    and the CI log all understand. *)
+
+type rule = D1 | D2 | D3 | D4 | D5
+
+let all_rules = [ D1; D2; D3; D4; D5 ]
+
+let rule_name = function
+  | D1 -> "D1"
+  | D2 -> "D2"
+  | D3 -> "D3"
+  | D4 -> "D4"
+  | D5 -> "D5"
+
+let rule_of_string s =
+  match s with
+  | "D1" -> Some D1
+  | "D2" -> Some D2
+  | "D3" -> Some D3
+  | "D4" -> Some D4
+  | "D5" -> Some D5
+  | _ -> None
+
+let rule_doc = function
+  | D1 -> "polymorphic compare/equality at a non-primitive type"
+  | D2 -> "unordered Hashtbl iteration feeding sends or accumulation"
+  | D3 -> "wall-clock or ambient entropy in deterministic code"
+  | D4 -> "wildcard match arm over a protocol variant type"
+  | D5 -> "ignore of a value carrying protocol state"
+
+type t = { file : string; line : int; rule : rule; msg : string }
+
+let to_string f =
+  Printf.sprintf "%s:%d %s %s" f.file f.line (rule_name f.rule) f.msg
+
+(* Sort by file, then line, then rule, then message: output order is a
+   function of the findings alone, never of traversal order. *)
+let order a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = String.compare (rule_name a.rule) (rule_name b.rule) in
+      if c <> 0 then c else String.compare a.msg b.msg

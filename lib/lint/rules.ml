@@ -1,0 +1,429 @@
+(** The determinism & protocol-safety rules, run over one typed AST.
+
+    Every rule works on the {e typed} tree ([.cmt] files), so detection is
+    path- and type-accurate: [Ballot.compare] and [Int.compare] never
+    trigger D1, only [Stdlib.compare] and friends instantiated at a
+    non-primitive type do.
+
+    Per-site suppression: annotate the offending expression (or its
+    enclosing binding) with [[@lint.allow "D2"]] (several ids may be given,
+    separated by spaces or commas); a floating [[@@@lint.allow "..."]]
+    suppresses for the remainder of the file. *)
+
+open Typedtree
+
+type config = {
+  project_modules : string list;
+      (** Root module names of the scanned tree; variant/state types rooted
+          there count as protocol types for D4/D5. *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Path classification                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* "Stdlib.Hashtbl.iter" and "Stdlib__Hashtbl.iter" both normalise to
+   "Hashtbl.iter"; plain project paths are left untouched. *)
+let normalized_name path =
+  let n = Path.name path in
+  let strip_prefix p s =
+    let lp = String.length p in
+    if String.length s > lp && String.equal (String.sub s 0 lp) p then
+      Some (String.sub s lp (String.length s - lp))
+    else None
+  in
+  match strip_prefix "Stdlib." n with
+  | Some rest -> rest
+  | None -> (
+      match strip_prefix "Stdlib__" n with
+      | Some rest -> (
+          (* "Stdlib__Hashtbl.iter" -> "Hashtbl.iter" *)
+          match String.index_opt rest '.' with Some _ -> rest | None -> rest)
+      | None -> n)
+
+(* Polymorphic comparison primitives from Stdlib (path-checked, so a
+   project-defined [compare] never matches). *)
+let poly_compare_member path =
+  match path with
+  | Path.Pdot (Path.Pident id, s) when String.equal (Ident.name id) "Stdlib"
+    -> (
+      match s with
+      | "compare" | "=" | "<>" | "<" | ">" | "<=" | ">=" | "min" | "max" ->
+          Some s
+      | _ -> None)
+  | _ -> None
+
+let is_hashtbl_iteration path =
+  match normalized_name path with
+  | "Hashtbl.iter" | "Hashtbl.fold" -> true
+  | _ -> false
+
+let is_sort_family path =
+  match normalized_name path with
+  | "List.sort" | "List.stable_sort" | "List.fast_sort" | "List.sort_uniq"
+  | "Array.sort" | "Array.stable_sort" ->
+      true
+  | _ -> false
+
+(* Wall-clock reads and ambient (process-global) entropy. Seeded
+   [Random.State] values are deterministic and stay clean. *)
+let nondeterminism_source path =
+  let n = normalized_name path in
+  let starts p =
+    String.length n >= String.length p
+    && String.equal (String.sub n 0 (String.length p)) p
+  in
+  match n with
+  | "Sys.time" | "Unix.gettimeofday" | "Unix.time" | "Unix.times"
+  | "UnixLabels.gettimeofday" | "UnixLabels.time" ->
+      Some n
+  | _ ->
+      if starts "Random." && not (starts "Random.State.") then Some n
+      else None
+
+let is_stdlib_ignore path =
+  match path with
+  | Path.Pdot (Path.Pident id, "ignore")
+    when String.equal (Ident.name id) "Stdlib" ->
+      true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Type classification                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let primitive_paths =
+  [
+    Predef.path_int;
+    Predef.path_char;
+    Predef.path_string;
+    Predef.path_bytes;
+    Predef.path_float;
+    Predef.path_bool;
+    Predef.path_unit;
+    Predef.path_int32;
+    Predef.path_int64;
+    Predef.path_nativeint;
+  ]
+
+(* Stdlib modules re-export the primitives as aliases ([String.t] = [string]
+   etc.); an alias path is a different [Path.t], so match those by name. *)
+let primitive_alias_names =
+  [
+    "Int.t"; "Char.t"; "String.t"; "Bytes.t"; "Float.t"; "Bool.t";
+    "Unit.t"; "Int32.t"; "Int64.t"; "Nativeint.t";
+  ]
+
+let is_primitive_base ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, [], _) ->
+      List.exists (Path.same p) primitive_paths
+      || List.exists (String.equal (normalized_name p)) primitive_alias_names
+  | _ -> false
+
+let predef_container_paths =
+  [ Predef.path_option; Predef.path_list; Predef.path_array ]
+
+let first_arg_type ty =
+  match Types.get_desc ty with
+  | Types.Tarrow (_, a, _, _) -> Some a
+  | _ -> None
+
+let type_to_string ty = Format.asprintf "%a" Printtyp.type_expr ty
+
+(* Is the head constructor of [ty] (or of a head constructor path [p])
+   rooted in the scanned project? Local idents (types defined in the unit
+   under analysis) count as project types. *)
+let path_in_project cfg p =
+  if List.exists (fun prim -> Path.same p prim) primitive_paths then false
+  else if List.exists (fun pp -> Path.same p pp) predef_container_paths then
+    false
+  else
+    let root = Path.head p in
+    if Ident.global root then
+      List.exists (String.equal (Ident.name root)) cfg.project_modules
+    else true
+
+(* A type that "carries protocol state" for D5: a function (a partial
+   application was ignored), a project-defined constructed type, or a
+   predef container of one. *)
+let rec carries_state cfg ty =
+  match Types.get_desc ty with
+  | Types.Tarrow _ -> true
+  | Types.Tconstr (p, args, _) ->
+      if path_in_project cfg p then true
+      else if List.exists (fun pp -> Path.same p pp) predef_container_paths
+      then List.exists (carries_state cfg) args
+      else false
+  | Types.Ttuple tys -> List.exists (carries_state cfg) tys
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Suppression                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let allows_of_attributes (attrs : attributes) =
+  List.concat_map
+    (fun (a : Parsetree.attribute) ->
+      if String.equal a.Parsetree.attr_name.Location.txt "lint.allow" then
+        match a.Parsetree.attr_payload with
+        | Parsetree.PStr
+            [
+              {
+                Parsetree.pstr_desc =
+                  Parsetree.Pstr_eval
+                    ( {
+                        Parsetree.pexp_desc =
+                          Parsetree.Pexp_constant
+                            (Parsetree.Pconst_string (s, _, _));
+                        _;
+                      },
+                      _ );
+                _;
+              };
+            ] ->
+            String.split_on_char ' ' s
+            |> List.concat_map (String.split_on_char ',')
+            |> List.filter_map (fun tok ->
+                   let tok = String.trim tok in
+                   if String.equal tok "" then None
+                   else Finding.rule_of_string tok)
+        | _ -> []
+      else [])
+    attrs
+
+(* ------------------------------------------------------------------ *)
+(* Pattern helpers (D4)                                                *)
+(* ------------------------------------------------------------------ *)
+
+let rec value_pattern_of : type k. k general_pattern -> pattern option =
+ fun p ->
+  match p.pat_desc with
+  | Tpat_value arg -> Some (arg :> pattern)
+  | Tpat_exception _ -> None
+  | Tpat_or (a, _, _) -> value_pattern_of a
+  | Tpat_any -> Some p
+  | Tpat_var _ -> Some p
+  | Tpat_alias _ -> Some p
+  | Tpat_constant _ -> Some p
+  | Tpat_tuple _ -> Some p
+  | Tpat_construct _ -> Some p
+  | Tpat_variant _ -> Some p
+  | Tpat_record _ -> Some p
+  | Tpat_array _ -> Some p
+  | Tpat_lazy _ -> Some p
+
+let rec is_wildcard (p : pattern) =
+  match p.pat_desc with
+  | Tpat_any -> true
+  | Tpat_alias (q, _, _) -> is_wildcard q
+  | _ -> false
+
+let rec find_constructor (p : pattern) =
+  match p.pat_desc with
+  | Tpat_construct (_, cd, _, _) -> Some cd
+  | Tpat_alias (q, _, _) -> find_constructor q
+  | Tpat_or (a, b, _) -> (
+      match find_constructor a with
+      | Some c -> Some c
+      | None -> find_constructor b)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* The engine                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type state = {
+  cfg : config;
+  file : string;
+  mutable findings : Finding.t list;
+  mutable allow_stack : Finding.rule list list;
+  mutable file_allows : Finding.rule list;
+  mutable sort_depth : int;
+      (** > 0 while visiting the arguments of a canonicalizing sort: a
+          [Hashtbl.fold] there is immediately re-ordered, hence clean. *)
+}
+
+let allowed st rule =
+  List.exists (fun r -> r == rule) st.file_allows
+  || List.exists (List.exists (fun r -> r == rule)) st.allow_stack
+
+let report st ~loc rule msg =
+  if not (allowed st rule) then
+    let line = loc.Location.loc_start.Lexing.pos_lnum in
+    let file =
+      let f = loc.Location.loc_start.Lexing.pos_fname in
+      if String.equal f "" then st.file else f
+    in
+    st.findings <- { Finding.file; line; rule; msg } :: st.findings
+
+(* --- D1 --- *)
+let check_poly_compare st (e : expression) path =
+  match poly_compare_member path with
+  | None -> ()
+  | Some op -> (
+      match first_arg_type e.exp_type with
+      | Some ty when is_primitive_base ty -> ()
+      | Some ty ->
+          report st ~loc:e.exp_loc Finding.D1
+            (Printf.sprintf
+               "polymorphic %s at type %s; use a typed comparator (e.g. \
+                Ballot.compare, Int.compare, Option.is_none)"
+               (if String.equal op "compare" || String.equal op "min"
+                   || String.equal op "max"
+                then op
+                else "( " ^ op ^ " )")
+               (type_to_string ty))
+      | None ->
+          report st ~loc:e.exp_loc Finding.D1
+            (Printf.sprintf
+               "polymorphic %s at a statically unknown type; use a typed \
+                comparator"
+               op))
+
+(* --- D3 --- *)
+let check_entropy st (e : expression) path =
+  match nondeterminism_source path with
+  | None -> ()
+  | Some n ->
+      report st ~loc:e.exp_loc Finding.D3
+        (Printf.sprintf
+           "%s reads the wall clock or ambient entropy; use the simulated \
+            clock or a seeded Random.State" n)
+
+(* --- D4 --- *)
+let check_match st ~scrutinee_ty (cases : 'k case list) =
+  let constr =
+    List.find_map
+      (fun c ->
+        match value_pattern_of c.c_lhs with
+        | Some p -> find_constructor p
+        | None -> None)
+      cases
+  in
+  match constr with
+  | None -> ()
+  | Some cd ->
+      let total = cd.Types.cstr_consts + cd.Types.cstr_nonconsts in
+      let head_path =
+        match Types.get_desc cd.Types.cstr_res with
+        | Types.Tconstr (p, _, _) -> Some p
+        | _ -> None
+      in
+      let is_protocol =
+        match head_path with
+        | Some p -> path_in_project st.cfg p
+        | None -> false
+      in
+      if is_protocol && total >= 2 then
+        List.iter
+          (fun c ->
+            match value_pattern_of c.c_lhs with
+            | Some p when is_wildcard p ->
+                let pat_allows =
+                  allows_of_attributes p.pat_attributes
+                  @ allows_of_attributes c.c_lhs.pat_attributes
+                in
+                st.allow_stack <- pat_allows :: st.allow_stack;
+                report st ~loc:p.pat_loc Finding.D4
+                  (Printf.sprintf
+                     "wildcard arm over %s (%d constructors) masks unhandled \
+                      protocol messages; enumerate the cases"
+                     (match scrutinee_ty with
+                     | Some ty -> type_to_string ty
+                     | None -> type_to_string cd.Types.cstr_res)
+                     total);
+                st.allow_stack <- List.tl st.allow_stack
+            | _ -> ())
+          cases
+
+(* --- D5 --- *)
+let check_ignore st (e : expression) funct args =
+  match funct.exp_desc with
+  | Texp_ident (path, _, _) when is_stdlib_ignore path -> (
+      match args with
+      | [ (_, Some arg) ] ->
+          if carries_state st.cfg arg.exp_type then
+            report st ~loc:e.exp_loc Finding.D5
+              (Printf.sprintf
+                 "ignore discards a value of type %s carrying protocol \
+                  state; handle or destructure it"
+                 (type_to_string arg.exp_type))
+      | _ -> ())
+  | _ -> ()
+
+let iterator st =
+  let expr (it : Tast_iterator.iterator) (e : expression) =
+    let allows = allows_of_attributes e.exp_attributes in
+    st.allow_stack <- allows :: st.allow_stack;
+    (match e.exp_desc with
+    | Texp_ident (path, _, _) ->
+        check_poly_compare st e path;
+        check_entropy st e path
+    | Texp_apply (funct, args) -> (
+        check_ignore st e funct args;
+        match funct.exp_desc with
+        | Texp_ident (path, _, _) when is_hashtbl_iteration path ->
+            if st.sort_depth = 0 then
+              report st ~loc:e.exp_loc Finding.D2
+                (Printf.sprintf
+                   "%s iterates in hash order (insertion-history dependent); \
+                    use Replog.Det.sorted_bindings or sort the result"
+                   (normalized_name path))
+        | _ -> ())
+    | Texp_match (scrut, cases, _) ->
+        check_match st ~scrutinee_ty:(Some scrut.exp_type) cases
+    | Texp_function { cases; _ } ->
+        let scrutinee_ty =
+          match cases with c :: _ -> Some c.c_lhs.pat_type | [] -> None
+        in
+        check_match st ~scrutinee_ty cases
+    | _ -> ());
+    (* Recurse; sort arguments are a sanctioned context for D2. *)
+    (match e.exp_desc with
+    | Texp_apply (funct, args) -> (
+        it.Tast_iterator.expr it funct;
+        let in_sort =
+          match funct.exp_desc with
+          | Texp_ident (path, _, _) -> is_sort_family path
+          | _ -> false
+        in
+        if in_sort then st.sort_depth <- st.sort_depth + 1;
+        List.iter
+          (fun (_, a) -> Option.iter (it.Tast_iterator.expr it) a)
+          args;
+        if in_sort then st.sort_depth <- st.sort_depth - 1)
+    | _ -> Tast_iterator.default_iterator.Tast_iterator.expr it e);
+    st.allow_stack <- List.tl st.allow_stack
+  in
+  let value_binding (it : Tast_iterator.iterator) (vb : value_binding) =
+    let allows = allows_of_attributes vb.vb_attributes in
+    st.allow_stack <- allows :: st.allow_stack;
+    Tast_iterator.default_iterator.Tast_iterator.value_binding it vb;
+    st.allow_stack <- List.tl st.allow_stack
+  in
+  { Tast_iterator.default_iterator with expr; value_binding }
+
+(* Floating [@@@lint.allow "..."] attributes suppress file-wide. *)
+let file_level_allows (str : structure) =
+  List.concat_map
+    (fun (si : structure_item) ->
+      match si.str_desc with
+      | Tstr_attribute a -> allows_of_attributes [ a ]
+      | _ -> [])
+    str.str_items
+
+let run_structure ~cfg ~file (str : structure) =
+  let st =
+    {
+      cfg;
+      file;
+      findings = [];
+      allow_stack = [];
+      file_allows = file_level_allows str;
+      sort_depth = 0;
+    }
+  in
+  let it = iterator st in
+  it.Tast_iterator.structure it str;
+  st.findings

@@ -38,7 +38,7 @@ let rec is_prefix a b =
   match (a, b) with
   | [], _ -> true
   | _, [] -> false
-  | x :: xs, y :: ys -> x = y && is_prefix xs ys
+  | x :: xs, y :: ys -> Int.equal x y && is_prefix xs ys
 
 let check_sc1 ~commands (st : Spec.state) =
   List.for_all
@@ -74,7 +74,7 @@ let successors cfg sn =
                   Spec.queues =
                     List.map
                       (fun (k, q') ->
-                        if k = (src, dst) then (k, rest) else (k, q'))
+                        if Spec.pair_eq k (src, dst) then (k, rest) else (k, q'))
                       sn.spec.Spec.queues;
                 }
                 ~dst ~src m
@@ -99,7 +99,7 @@ let successors cfg sn =
                       Spec.queues =
                         List.map
                           (fun (k, q') ->
-                            if k = (src, dst) then (k, rest) else (k, q'))
+                            if Spec.pair_eq k (src, dst) then (k, rest) else (k, q'))
                           sn.spec.Spec.queues;
                     };
                 })
@@ -111,7 +111,10 @@ let successors cfg sn =
         {
           sn with
           spec = Spec.leader_event sn.spec i b;
-          pending_leaders = List.filter (fun e -> e <> (i, b)) sn.pending_leaders;
+          pending_leaders =
+            List.filter
+              (fun (j, b') -> not (Int.equal j i && Spec.ballot_eq b' b))
+              sn.pending_leaders;
         })
       sn.pending_leaders
   in
@@ -122,7 +125,9 @@ let successors cfg sn =
           sn with
           spec = Spec.propose sn.spec i c;
           pending_proposals =
-            List.filter (fun e -> e <> (i, c)) sn.pending_proposals;
+            List.filter
+              (fun (j, c') -> not (Int.equal j i && Int.equal c' c))
+              sn.pending_proposals;
         })
       sn.pending_proposals
   in
@@ -134,8 +139,18 @@ let run cfg =
   let initial =
     {
       spec = Spec.init_state;
-      pending_leaders = List.sort compare cfg.leader_events;
-      pending_proposals = List.sort compare cfg.proposals;
+      pending_leaders =
+        List.sort
+          (fun (i1, b1) (i2, b2) ->
+            let c = Int.compare i1 i2 in
+            if c <> 0 then c else Spec.ballot_compare b1 b2)
+          cfg.leader_events;
+      pending_proposals =
+        List.sort
+          (fun (i1, c1) (i2, c2) ->
+            let c = Int.compare i1 i2 in
+            if c <> 0 then c else Int.compare c1 c2)
+          cfg.proposals;
     }
   in
   let stack = Stack.create () in
@@ -144,7 +159,7 @@ let run cfg =
   let states = ref 0 in
   let violation = ref None in
   let truncated = ref false in
-  while (not (Stack.is_empty stack)) && !violation = None do
+  while (not (Stack.is_empty stack)) && Option.is_none !violation do
     let sn = Stack.pop stack in
     incr states;
     if not (check_sc1 ~commands sn.spec) then
@@ -154,7 +169,7 @@ let run cfg =
     else
       List.iter
         (fun succ ->
-          if !violation = None then
+          if Option.is_none !violation then
             if not (check_sc3_edge sn.spec succ.spec) then
               violation := Some "SC3: a decided prefix was retracted"
             else if not (Hashtbl.mem visited succ) then begin

@@ -13,6 +13,15 @@ type ballot = int * int (* n, pid *)
 
 let bottom : ballot = (0, -1)
 
+let ballot_compare ((n1, p1) : ballot) ((n2, p2) : ballot) =
+  let c = Int.compare n1 n2 in
+  if c <> 0 then c else Int.compare p1 p2
+
+let ballot_eq a b = ballot_compare a b = 0
+
+let pair_eq ((a1, b1) : int * int) ((a2, b2) : int * int) =
+  Int.equal a1 a2 && Int.equal b1 b2
+
 type entry = int
 
 type msg =
@@ -35,6 +44,8 @@ type role =
   | Prep of (int * (ballot * int * int * int * entry list)) list
       (** received promises: src -> (acc_rnd, log_len, dec, suffix_from, suffix) *)
   | Lead of (int * int) list  (** accepted length per promised follower *)
+
+let is_follower = function Follower -> true | Prep _ | Lead _ -> false
 
 type node = {
   id : int;
@@ -75,15 +86,15 @@ let send st ~src ~dst m =
     st with
     queues =
       List.map
-        (fun (k, q) -> if k = (src, dst) then (k, q @ [ m ]) else (k, q))
+        (fun (k, q) -> if pair_eq k (src, dst) then (k, q @ [ m ]) else (k, q))
         st.queues;
   }
 
 let take n l = List.filteri (fun i _ -> i < n) l
 let drop n l = List.filteri (fun i _ -> i >= n) l
 let suffix_from i l = drop i l
-let ballot_gt (a : ballot) b = compare a b > 0
-let ballot_ge (a : ballot) b = compare a b >= 0
+let ballot_gt (a : ballot) b = ballot_compare a b > 0
+let ballot_ge (a : ballot) b = ballot_compare a b >= 0
 
 (* ---------------- transitions ---------------- *)
 
@@ -109,7 +120,7 @@ let on_prepare st ~dst ~src ~n ~acc_rnd ~log_len ~dec =
   if ballot_ge n me.prom then begin
     let suffix_from_idx, suffix =
       if ballot_gt me.acc acc_rnd then (dec, suffix_from dec me.log)
-      else if me.acc = acc_rnd && List.length me.log > log_len then
+      else if ballot_eq me.acc acc_rnd && List.length me.log > log_len then
         (log_len, suffix_from log_len me.log)
       else (List.length me.log, [])
     in
@@ -137,8 +148,8 @@ let sync_and_lead st leader promises =
   let best =
     List.fold_left
       (fun (b_acc, b_len, b_src) (src, (acc_rnd, log_len, _, _, _)) ->
-        if compare (acc_rnd, log_len) (b_acc, b_len) > 0 then
-          (acc_rnd, log_len, Some src)
+        let c = ballot_compare acc_rnd b_acc in
+        if c > 0 || (c = 0 && log_len > b_len) then (acc_rnd, log_len, Some src)
         else (b_acc, b_len, b_src))
       (me.acc, List.length me.log, None)
       promises
@@ -169,7 +180,7 @@ let sync_and_lead st leader promises =
   let st =
     List.fold_left
       (fun st (src, (acc_rnd, log_len, f_dec, _, _)) ->
-        let sync_idx = if acc_rnd = max_acc then log_len else f_dec in
+        let sync_idx = if ballot_eq acc_rnd max_acc then log_len else f_dec in
         send st ~src:leader ~dst:src
           (Accept_sync
              { n; sync_idx; suffix = suffix_from sync_idx me.log; dec = me.dec }))
@@ -182,13 +193,13 @@ let sync_and_lead st leader promises =
           Lead
             (List.map
                (fun (src, (acc_rnd, log_len, f_dec, _, _)) ->
-                 (src, if acc_rnd = max_acc then log_len else f_dec))
+                 (src, if ballot_eq acc_rnd max_acc then log_len else f_dec))
                promises);
       })
 
 let on_promise st ~dst ~src ~n ~info =
   let me = node st dst in
-  if me.prom <> n then st
+  if not (ballot_eq me.prom n) then st
   else
     match me.role with
     | Prep promises ->
@@ -198,7 +209,7 @@ let on_promise st ~dst ~src ~n ~info =
     | Lead acc_idx ->
         (* Late promise: synchronise the straggler. *)
         let acc_rnd, log_len, f_dec, _, _ = info in
-        let sync_idx = if acc_rnd = me.acc then log_len else f_dec in
+        let sync_idx = if ballot_eq acc_rnd me.acc then log_len else f_dec in
         let sync_idx = min sync_idx (List.length me.log) in
         let st =
           send st ~src:dst ~dst:src
@@ -216,7 +227,7 @@ let on_promise st ~dst ~src ~n ~info =
 
 let on_accept_sync st ~dst ~src ~n ~sync_idx ~suffix ~dec =
   let me = node st dst in
-  if me.prom = n && sync_idx <= List.length me.log then begin
+  if ballot_eq me.prom n && sync_idx <= List.length me.log then begin
     let st =
       update_node st dst (fun nd ->
           let log = take sync_idx nd.log @ suffix in
@@ -229,7 +240,7 @@ let on_accept_sync st ~dst ~src ~n ~sync_idx ~suffix ~dec =
 
 let on_accept st ~dst ~src ~n ~start_idx ~entry ~dec =
   let me = node st dst in
-  if me.prom = n && me.acc = n && me.role = Follower then
+  if ballot_eq me.prom n && ballot_eq me.acc n && is_follower me.role then
     if start_idx > List.length me.log then st (* gap: ignore *)
     else if start_idx < List.length me.log then st (* duplicate: ignore *)
     else begin
@@ -248,7 +259,7 @@ let try_decide st leader =
   match me.role with
   | Lead acc_idx when List.length acc_idx + 1 >= quorum ->
       let values = List.length me.log :: List.map snd acc_idx in
-      let sorted = List.sort (fun a b -> compare b a) values in
+      let sorted = List.sort (fun a b -> Int.compare b a) values in
       let decidable = List.nth sorted (quorum - 1) in
       if decidable > me.dec then begin
         let st = update_node st leader (fun nd -> { nd with dec = decidable }) in
@@ -263,7 +274,7 @@ let try_decide st leader =
 
 let on_accepted st ~dst ~src ~n ~log_len =
   let me = node st dst in
-  if me.prom = n then
+  if ballot_eq me.prom n then
     match me.role with
     | Lead acc_idx ->
         let prev = Option.value (List.assoc_opt src acc_idx) ~default:0 in
@@ -275,7 +286,7 @@ let on_accepted st ~dst ~src ~n ~log_len =
 
 let on_decide st ~dst ~n ~dec =
   let me = node st dst in
-  if me.prom = n && me.acc = n then
+  if ballot_eq me.prom n && ballot_eq me.acc n then
     update_node st dst (fun nd ->
         { nd with dec = max nd.dec (min dec (List.length nd.log)) })
   else st

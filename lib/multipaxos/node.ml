@@ -24,6 +24,10 @@ type msg =
 
 type state = Passive | Scouting | Active
 
+let state_is_active = function Active -> true | Passive | Scouting -> false
+let state_is_scouting = function Scouting -> true | Passive | Active -> false
+let state_is_passive = function Passive -> true | Scouting | Active -> false
+
 (* Whom the failure detector watches. It is only ever an *activated* leader
    (learned from its Phase-2 traffic) or ourselves; a mere preemptor is never
    adopted. This distinction is what separates the quorum-loss deadlock (the
@@ -163,7 +167,7 @@ let try_commit_slot t slot =
   | Some _ | None -> ()
 
 let flush_p2a t =
-  if t.state = Active && t.pending_from < t.next_slot then begin
+  if state_is_active t.state && t.pending_from < t.next_slot then begin
     let count = min max_batch (t.next_slot - t.pending_from) in
     let cmds =
       List.filter_map
@@ -189,7 +193,7 @@ let propose_in_slot t cmd =
   if t.quorum = 1 then advance_decided_prefix t
 
 let propose t cmd =
-  if t.state = Active then begin
+  if state_is_active t.state then begin
     propose_in_slot t cmd;
     true
   end
@@ -203,7 +207,7 @@ let become_active t =
   let from_slot = Log.length t.decided in
   let best = Hashtbl.create 64 in
   let max_slot = ref (from_slot - 1) in
-  Hashtbl.iter
+  Replog.Det.iter_sorted ~compare_key:Int.compare
     (fun _src lst ->
       List.iter
         (fun (slot, b, cmd) ->
@@ -230,14 +234,14 @@ let become_active t =
   List.iter (fun p -> t.send ~dst:p announce) t.peers
 
 let check_scout_quorum t =
-  if t.state = Scouting && Hashtbl.length t.p1bs >= t.quorum then
+  if state_is_scouting t.state && Hashtbl.length t.p1bs >= t.quorum then
     become_active t
 
 let own_accepted_from t from_slot =
-  Hashtbl.fold
-    (fun slot (b, cmd) acc ->
-      if slot >= from_slot then (slot, b, cmd) :: acc else acc)
-    t.accepted []
+  List.filter_map
+    (fun (slot, (b, cmd)) ->
+      if slot >= from_slot then Some (slot, b, cmd) else None)
+    (Replog.Det.sorted_bindings ~compare_key:Int.compare t.accepted)
 
 (* Decided slots may have been trimmed from [accepted]; report them with the
    sentinel ballot. *)
@@ -276,7 +280,7 @@ let on_p1a t ~src ~b ~from_slot =
   else t.send ~dst:src (Preempted { b = t.prom })
 
 let on_p1b t ~src ~b ~accepted =
-  if t.state = Scouting && ballot_compare b t.ballot = 0 then begin
+  if state_is_scouting t.state && ballot_compare b t.ballot = 0 then begin
     Hashtbl.replace t.p1bs src accepted;
     check_scout_quorum t
   end
@@ -289,19 +293,19 @@ let on_p2a t ~src ~b ~start_slot ~cmds =
        any competing proposer role. *)
     if b.pid <> t.id then begin
       t.fd_leader <- Activated b.pid;
-      if t.state <> Passive then t.state <- Passive
+      if not (state_is_passive t.state) then t.state <- Passive
     end;
     List.iteri
       (fun i cmd -> Hashtbl.replace t.accepted (start_slot + i) (b, cmd))
       cmds;
-    if cmds <> [] then
+    if not (List.is_empty cmds) then
       t.send ~dst:src (P2b { b; start_slot; count = List.length cmds })
   end
   else begin
     t.send ~dst:src (Preempted { b = t.prom });
     (* The sender is an alive, active leader we cannot accept (our acceptor
        promised higher): stop competing and let it re-scout above us. *)
-    if t.state = Scouting then begin
+    if state_is_scouting t.state then begin
       t.state <- Passive;
       t.fd_leader <- Activated src;
       t.backoff <- t.election_ticks
@@ -309,7 +313,7 @@ let on_p2a t ~src ~b ~start_slot ~cmds =
   end
 
 let on_p2b t ~src ~b ~start_slot ~count =
-  if t.state = Active && ballot_compare b t.ballot = 0 then begin
+  if state_is_active t.state && ballot_compare b t.ballot = 0 then begin
     for i = 0 to count - 1 do
       let slot = start_slot + i in
       match Hashtbl.find_opt t.slots slot with
@@ -323,7 +327,8 @@ let on_p2b t ~src ~b ~start_slot ~count =
 
 let on_preempted t ~b =
   t.max_seen <- ballot_max t.max_seen b;
-  if (t.state = Scouting || t.state = Active) && ballot_compare b t.ballot > 0
+  if (state_is_scouting t.state || state_is_active t.state)
+     && ballot_compare b t.ballot > 0
   then begin
     (* Deposed. We keep watching ourselves, so after a randomized backoff
        (PMMC's prescription, avoiding repeated scout collisions) we retry
@@ -362,7 +367,7 @@ let on_decision t ~src ~start_slot ~cmds =
   else begin
     let skip = len - start_slot in
     let fresh = List.filteri (fun i _ -> i >= skip) cmds in
-    if fresh <> [] then begin
+    if not (List.is_empty fresh) then begin
       Log.append_list t.decided fresh;
       trim_accepted t;
       t.on_decide (Log.length t.decided)
@@ -389,15 +394,17 @@ let handle t ~src msg =
 
 (* Retransmit batches for old uncommitted slots (covers lost messages). *)
 let retransmit_uncommitted t =
-  let stale = ref [] in
-  Hashtbl.iter
-    (fun slot s ->
-      if (not s.committed) && t.tick_count - s.born >= t.election_ticks then begin
-        s.born <- t.tick_count;
-        stale := (slot, s.s_cmd) :: !stale
-      end)
-    t.slots;
-  let sorted = List.sort (fun (a, _) (b, _) -> Int.compare a b) !stale in
+  let sorted =
+    List.filter_map
+      (fun (slot, s) ->
+        if (not s.committed) && t.tick_count - s.born >= t.election_ticks
+        then begin
+          s.born <- t.tick_count;
+          Some (slot, s.s_cmd)
+        end
+        else None)
+      (Replog.Det.sorted_bindings ~compare_key:Int.compare t.slots)
+  in
   let rec batches acc current rest =
     match (rest, current) with
     | [], None -> List.rev acc
@@ -446,16 +453,16 @@ let tick t =
 let session_reset t ~peer =
   (* Lost watermarks and P2as are recovered by the periodic announce and
      retransmission paths; re-announce the watermark eagerly. *)
-  if t.state = Active then
+  if state_is_active t.state then
     t.send ~dst:peer
       (Decided_watermark { b = t.ballot; upto = Log.length t.decided })
 
 let state t = t.state
-let is_leader t = t.state = Active
+let is_leader t = state_is_active t.state
 
 let leader_pid t =
   match t.fd_leader with
-  | Myself -> if t.state = Active then Some t.id else None
+  | Myself -> if state_is_active t.state then Some t.id else None
   | Activated l -> Some l
   | No_leader -> None
 

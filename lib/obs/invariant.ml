@@ -52,7 +52,9 @@ let single_leader_per_ballot events =
           match e.kind with
           | Event.Prepare_round { b; _ } | Event.Accept_sent { b; _ } ->
               Some b
-          | _ -> None
+          (* Event-stream filter: a new event kind cannot weaken this
+             invariant, it is simply not leadership-relevant. *)
+          | _ [@lint.allow "D4"] -> None
         in
         match b with
         | None -> scan rest
@@ -83,7 +85,8 @@ let decided_prefix_monotonic events =
             | _ ->
                 Hashtbl.replace last e.node (e.time, decided_idx);
                 scan rest)
-        | _ -> scan rest)
+        (* Event-stream filter: only [Decided] moves the decided index. *)
+        | _ [@lint.allow "D4"] -> scan rest)
   in
   scan events
 

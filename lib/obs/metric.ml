@@ -148,8 +148,7 @@ module Registry = struct
     Hashtbl.reset t.gauges;
     Hashtbl.reset t.histograms
 
-  let sorted_keys tbl =
-    List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
+  let sorted_keys tbl = Replog.Det.sorted_keys ~compare_key:String.compare tbl
 
   (* One human-readable line per metric, sorted by name. *)
   let to_lines t =

@@ -15,7 +15,7 @@ let sinks : (int * sink) list ref = ref []
 let hot = ref false
 let next_id = ref 0
 let clock : (unit -> float) ref = ref (fun () -> 0.0)
-let refresh () = hot := !enabled && !sinks <> []
+let refresh () = hot := !enabled && not (List.is_empty !sinks)
 
 let set_enabled b =
   enabled := b;

@@ -52,7 +52,9 @@ let trace_ballot (b : Ballot.t) =
 
 (* The checkLeader step of Figure 4, run when a heartbeat round closes. *)
 let check_round t =
-  let reply_list = Hashtbl.fold (fun _ hb acc -> hb :: acc) t.replies [] in
+  let reply_list =
+    List.map snd (Replog.Det.sorted_bindings ~compare_key:Int.compare t.replies)
+  in
   let connected = List.length reply_list + 1 in
   if connected >= t.quorum then begin
     t.qc <- true;
@@ -67,7 +69,7 @@ let check_round t =
     let max_candidate = List.fold_left Ballot.max Ballot.bottom candidates in
     let led = leader_ballot t in
     if Ballot.(max_candidate > led) then begin
-      let first = t.leader = None in
+      let first = Option.is_none t.leader in
       t.leader <- Some max_candidate;
       if Obs.Trace.on () then
         Obs.Trace.emit ~node:t.id

@@ -17,10 +17,15 @@ let size = function
   | Cmd c -> Replog.Command.size c
   | Stop_sign ss -> 24 + (8 * List.length ss.nodes) + String.length ss.metadata
 
+let stop_sign_equal a b =
+  Int.equal a.config_id b.config_id
+  && List.equal Int.equal a.nodes b.nodes
+  && String.equal a.metadata b.metadata
+
 let equal a b =
   match (a, b) with
   | Cmd x, Cmd y -> Replog.Command.equal x y
-  | Stop_sign x, Stop_sign y -> x = y
+  | Stop_sign x, Stop_sign y -> stop_sign_equal x y
   | Cmd _, Stop_sign _ | Stop_sign _, Cmd _ -> false
 
 let pp ppf = function

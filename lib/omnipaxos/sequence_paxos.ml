@@ -44,6 +44,14 @@ type persistent = {
 
 type role = Follower | Leader_prepare | Leader_accept
 
+let role_is_follower = function
+  | Follower -> true
+  | Leader_prepare | Leader_accept -> false
+
+let role_is_leader_accept = function
+  | Leader_accept -> true
+  | Follower | Leader_prepare -> false
+
 (* Cap on entries per Accept, as real implementations bound their message
    size; a large backlog streams as a pipeline of batches across flushes. *)
 let max_batch = 4096
@@ -91,7 +99,7 @@ let trace_ballot (b : Ballot.t) =
 let find_stop_sign_from log ~from =
   let found = ref None in
   Log.iteri_from log ~from (fun i e ->
-      if !found = None && Entry.is_stop_sign e then found := Some i);
+      if Option.is_none !found && Entry.is_stop_sign e then found := Some i);
   !found
 
 let create ~id ~peers ~persistent ~send ?(on_decide = fun _ -> ())
@@ -117,7 +125,7 @@ let create ~id ~peers ~persistent ~send ?(on_decide = fun _ -> ())
 
 let id t = t.id
 let role t = t.role
-let is_leader t = t.role <> Follower
+let is_leader t = not (role_is_follower t.role)
 let current_round t = t.dur.prom_rnd
 
 let leader_pid t =
@@ -131,7 +139,7 @@ let read_decided t ~from =
   let from = max from (Log.first_idx t.dur.log) in
   Log.sub t.dur.log ~pos:from ~len:(t.dur.decided_idx - from)
 let read_log t = t.dur.log
-let is_stopped t = t.ss_idx <> None
+let is_stopped t = Option.is_some t.ss_idx
 
 let stop_sign t =
   match t.ss_idx with
@@ -146,14 +154,14 @@ let stop_sign t =
 let sync_log t ~at suffix =
   Log.set_suffix t.dur.log ~at suffix;
   (match t.ss_idx with Some i when i >= at -> t.ss_idx <- None | _ -> ());
-  if t.ss_idx = None then
+  if Option.is_none t.ss_idx then
     t.ss_idx <-
       Option.map (fun i -> at + i)
         (List.find_index Entry.is_stop_sign suffix)
 
 let append_entry t e =
   Log.append t.dur.log e;
-  if Entry.is_stop_sign e && t.ss_idx = None then
+  if Entry.is_stop_sign e && Option.is_none t.ss_idx then
     t.ss_idx <- Some (Log.length t.dur.log - 1)
 
 let advance_decided t d =
@@ -170,7 +178,7 @@ let advance_decided t d =
 let try_decide t =
   let values =
     Log.length t.dur.log
-    :: Hashtbl.fold (fun _ v acc -> v :: acc) t.acc_idx []
+    :: List.map snd (Replog.Det.sorted_bindings ~compare_key:Int.compare t.acc_idx)
   in
   if List.length values >= t.quorum then begin
     let sorted = List.sort (fun a b -> Int.compare b a) values in
@@ -178,7 +186,9 @@ let try_decide t =
     if decidable > t.dur.decided_idx then begin
       advance_decided t decidable;
       let decide = Decide { n = t.dur.prom_rnd; decided_idx = decidable } in
-      Hashtbl.iter (fun f () -> t.send ~dst:f decide) t.synced
+      Replog.Det.iter_sorted ~compare_key:Int.compare
+        (fun f () -> t.send ~dst:f decide)
+        t.synced
     end
   end
 
@@ -243,7 +253,7 @@ let complete_prepare t =
       best_key := (acc_rnd, log_idx)
     end
   in
-  Hashtbl.iter
+  Replog.Det.iter_sorted ~compare_key:Int.compare
     (fun src info -> consider src (info.p_acc_rnd, info.p_log_idx))
     t.promises;
   (if !best_src <> t.id then
@@ -254,14 +264,15 @@ let complete_prepare t =
   (* Decided indexes reported by the quorum refer to chosen prefixes of the
      adopted log; adopt the largest. *)
   let max_decided =
-    Hashtbl.fold
-      (fun _ info acc -> max acc info.p_decided_idx)
-      t.promises t.dur.decided_idx
+    List.fold_left
+      (fun acc (_, info) -> max acc info.p_decided_idx)
+      t.dur.decided_idx
+      (Replog.Det.sorted_bindings ~compare_key:Int.compare t.promises)
   in
   (* Append proposals buffered during the Prepare phase, unless the adopted
      log ends the configuration. *)
   Queue.iter
-    (fun e -> if t.ss_idx = None then append_entry t e)
+    (fun e -> if Option.is_none t.ss_idx then append_entry t e)
     t.buffer;
   Queue.clear t.buffer;
   t.role <- Leader_accept;
@@ -269,7 +280,7 @@ let complete_prepare t =
   Hashtbl.reset t.acc_idx;
   Hashtbl.reset t.sent_idx;
   advance_decided t max_decided;
-  Hashtbl.iter
+  Replog.Det.iter_sorted ~compare_key:Int.compare
     (fun dst info -> accept_sync_follower t ~dst ~info ~max_acc_rnd)
     t.promises;
   try_decide t
@@ -311,7 +322,7 @@ let handle_leader t (b : Ballot.t) =
     (* A higher round exists elsewhere: step down, and ask its leader for a
        Prepare — covers servers that started after the Prepare broadcast
        (e.g. a freshly migrated server joining a running configuration). *)
-    if t.role <> Follower then t.role <- Follower;
+    if not (role_is_follower t.role) then t.role <- Follower;
     t.send ~dst:b.Ballot.pid Prepare_req
   end
 
@@ -410,7 +421,7 @@ let on_accept t ~n ~start_idx ~entries ~l_decided_idx =
   if
     Ballot.equal n t.dur.prom_rnd
     && Ballot.equal n t.dur.acc_rnd
-    && t.role = Follower
+    && role_is_follower t.role
     && start_idx <= Log.length t.dur.log
   then begin
     let already = Log.length t.dur.log - start_idx in
@@ -425,7 +436,7 @@ let on_accept t ~n ~start_idx ~entries ~l_decided_idx =
   end
 
 let on_accepted t ~src ~n ~f_log_idx =
-  if Ballot.equal n t.dur.prom_rnd && t.role = Leader_accept then begin
+  if Ballot.equal n t.dur.prom_rnd && role_is_leader_accept t.role then begin
     let prev = Option.value (Hashtbl.find_opt t.acc_idx src) ~default:0 in
     Hashtbl.replace t.acc_idx src (max prev f_log_idx);
     try_decide t
@@ -455,7 +466,8 @@ let request_trim t ~upto =
         | None -> false)
       t.peers
   in
-  if t.role = Leader_accept && upto <= t.dur.decided_idx && all_peers_accepted
+  if role_is_leader_accept t.role && upto <= t.dur.decided_idx
+     && all_peers_accepted
   then begin
     Log.trim t.dur.log ~upto;
     let m = Trim { n = t.dur.prom_rnd; trim_idx = upto } in
@@ -517,22 +529,22 @@ let propose t entry =
   match t.role with
   | Follower -> false
   | Leader_prepare ->
-      if t.ss_idx <> None then false
+      if Option.is_some t.ss_idx then false
       else begin
         Queue.add entry t.buffer;
         true
       end
   | Leader_accept ->
-      if t.ss_idx <> None then false
+      if Option.is_some t.ss_idx then false
       else begin
         append_entry t entry;
         true
       end
 
 let flush t =
-  if t.role = Leader_accept then begin
+  if role_is_leader_accept t.role then begin
     let len = Log.length t.dur.log in
-    Hashtbl.iter
+    Replog.Det.iter_sorted ~compare_key:Int.compare
       (fun f () ->
         let from = Option.value (Hashtbl.find_opt t.sent_idx f) ~default:len in
         if from < len then begin

@@ -31,6 +31,10 @@ type persistent = {
 
 type role = Follower | Candidate | Leader
 
+let role_is_leader = function Leader -> true | Follower | Candidate -> false
+let role_is_follower = function Follower -> true | Candidate | Leader -> false
+let role_is_candidate = function Candidate -> true | Follower | Leader -> false
+
 type t = {
   id : int;
   mutable voters : int list;  (** includes [id] *)
@@ -120,7 +124,7 @@ let quorum t = (List.length t.voters / 2) + 1
 let peer_voters t = List.filter (fun v -> v <> t.id) t.voters
 
 let replication_targets t =
-  peer_voters t @ Hashtbl.fold (fun l () acc -> l :: acc) t.learners []
+  peer_voters t @ Replog.Det.sorted_keys ~compare_key:Int.compare t.learners
 
 let last_log_term t =
   match Log.last t.dur.log with Some e -> e.term | None -> 0
@@ -323,7 +327,9 @@ let on_request_vote t ~src ~term ~last_log_idx ~last_log_term ~pre =
     if term > t.dur.term then become_follower t ~term;
     let granted =
       term = t.dur.term
-      && (t.dur.voted_for = None || t.dur.voted_for = Some src)
+      && (match t.dur.voted_for with
+         | None -> true
+         | Some v -> Int.equal v src)
       && log_ok t ~last_log_idx ~last_log_term
     in
     if granted then begin
@@ -335,14 +341,15 @@ let on_request_vote t ~src ~term ~last_log_idx ~last_log_term ~pre =
 
 let on_vote t ~src ~term ~granted ~pre =
   if pre then begin
-    if t.in_pre_vote && t.role <> Leader && granted && term = t.dur.term + 1
+    if t.in_pre_vote && (not (role_is_leader t.role)) && granted
+       && term = t.dur.term + 1
     then begin
       Hashtbl.replace t.pre_votes src ();
       if Hashtbl.length t.pre_votes >= quorum t then start_election t
     end
   end
   else if term > t.dur.term then become_follower t ~term
-  else if t.role = Candidate && term = t.dur.term && granted then begin
+  else if role_is_candidate t.role && term = t.dur.term && granted then begin
     Hashtbl.replace t.votes src ();
     if Hashtbl.length t.votes >= quorum t then become_leader t
   end
@@ -354,7 +361,8 @@ let on_append_entries t ~src ~term ~prev_idx ~prev_term ~entries ~leader_commit
       (Append_resp
          { term = t.dur.term; success = false; match_idx = Log.length t.dur.log })
   else begin
-    if term > t.dur.term || t.role <> Follower then become_follower t ~term;
+    if term > t.dur.term || not (role_is_follower t.role) then
+      become_follower t ~term;
     t.leader_id <- Some src;
     t.ticks_since_hb <- 0;
     let log = t.dur.log in
@@ -391,7 +399,7 @@ let on_append_entries t ~src ~term ~prev_idx ~prev_term ~entries ~leader_commit
 
 let on_append_resp t ~src ~term ~success ~match_idx =
   if term > t.dur.term then become_follower t ~term
-  else if t.role = Leader && term = t.dur.term then begin
+  else if role_is_leader t.role && term = t.dur.term then begin
     Hashtbl.replace t.quorum_acks src ();
     Hashtbl.replace t.last_resp src t.tick_count;
     if success then begin
@@ -423,7 +431,7 @@ let handle t ~src msg =
       on_append_resp t ~src ~term ~success ~match_idx
 
 let session_reset t ~peer =
-  if t.role = Leader then begin
+  if role_is_leader t.role then begin
     (* In-flight batches were lost: rewind the pipeline to the last index
        known replicated. *)
     let m = Option.value (Hashtbl.find_opt t.match_idx peer) ~default:0 in
@@ -438,7 +446,7 @@ let recover t =
   reset_timeout t
 
 let propose t cmd =
-  if t.role = Leader then begin
+  if role_is_leader t.role then begin
     Log.append t.dur.log { term = t.dur.term; data = Cmd cmd };
     if quorum t = 1 then try_commit t;
     true
@@ -446,7 +454,7 @@ let propose t cmd =
   else false
 
 let add_learners t ids =
-  if t.role = Leader then
+  if role_is_leader t.role then
     List.iter
       (fun l ->
         if (not (List.mem l t.voters)) && not (Hashtbl.mem t.learners l) then begin
@@ -458,15 +466,14 @@ let add_learners t ids =
       ids
 
 let learners_caught_up t =
-  Hashtbl.fold
-    (fun l () acc ->
-      acc
-      && Option.value (Hashtbl.find_opt t.match_idx l) ~default:0
-         >= Log.length t.dur.log)
-    t.learners true
+  List.for_all
+    (fun l ->
+      Option.value (Hashtbl.find_opt t.match_idx l) ~default:0
+      >= Log.length t.dur.log)
+    (Replog.Det.sorted_keys ~compare_key:Int.compare t.learners)
 
 let propose_config t ~config_id ~voters =
-  if t.role = Leader then begin
+  if role_is_leader t.role then begin
     Log.append t.dur.log { term = t.dur.term; data = Config { config_id; voters } };
     (* The new voter set takes effect at append time at each server (Raft's
        single-entry membership change discipline, applied here to the
@@ -479,7 +486,7 @@ let propose_config t ~config_id ~voters =
 let committed_config t = t.last_config
 
 let role t = t.role
-let is_leader t = t.role = Leader
+let is_leader t = role_is_leader t.role
 let leader_pid t = t.leader_id
 let current_term t = t.dur.term
 let commit_idx t = t.commit_idx

@@ -25,7 +25,16 @@ let size t =
   | Kv_get k | Kv_del k -> 8 + String.length k
   | Blob n -> max 8 n
 
-let equal a b = a.id = b.id && a.op = b.op
+let op_equal a b =
+  match (a, b) with
+  | Noop, Noop -> true
+  | Kv_put (k1, v1), Kv_put (k2, v2) ->
+      String.equal k1 k2 && String.equal v1 v2
+  | Kv_get k1, Kv_get k2 | Kv_del k1, Kv_del k2 -> String.equal k1 k2
+  | Blob n1, Blob n2 -> Int.equal n1 n2
+  | (Noop | Kv_put _ | Kv_get _ | Kv_del _ | Blob _), _ -> false
+
+let equal a b = Int.equal a.id b.id && op_equal a.op b.op
 let compare a b = Int.compare a.id b.id
 
 let pp ppf t =

@@ -1,0 +1,27 @@
+(** Deterministic views of hash tables.
+
+    [Hashtbl] iteration order depends on the table's insertion history (and
+    on the polymorphic hash), so any send fan-out or list accumulation that
+    walks a table directly can differ between two runs that reached the
+    same logical state by different paths — silently breaking bit-identical
+    chaos replays and trace byte-stability. Every protocol-visible
+    iteration goes through this module instead (enforced by opxlint rule
+    D2): bindings are materialised and sorted by key before use.
+
+    Tables are expected to use [Hashtbl.replace] semantics (at most one
+    binding per key), as all tables in this tree do; with [Hashtbl.add]
+    duplicates, bindings of equal keys keep their fold order. *)
+
+let sorted_bindings ~compare_key tbl =
+  let bindings =
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] [@lint.allow "D2"])
+  in
+  List.sort (fun (a, _) (b, _) -> compare_key a b) bindings
+
+let sorted_keys ~compare_key tbl =
+  List.map fst (sorted_bindings ~compare_key tbl)
+
+(** [iter_sorted ~compare_key f tbl] applies [f key value] in ascending key
+    order. *)
+let iter_sorted ~compare_key f tbl =
+  List.iter (fun (k, v) -> f k v) (sorted_bindings ~compare_key tbl)

@@ -31,7 +31,9 @@ let size t = Hashtbl.length t.table
 let snapshot t =
   let buf = Buffer.create 256 in
   Buffer.add_string buf (Printf.sprintf "%d;" t.applied);
-  Hashtbl.iter
+  (* Key-sorted, so equal stores serialise to equal bytes regardless of
+     the insertion history that produced them. *)
+  Det.iter_sorted ~compare_key:String.compare
     (fun k v ->
       Buffer.add_string buf
         (Printf.sprintf "%d:%s%d:%s" (String.length k) k (String.length v) v))

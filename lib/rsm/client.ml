@@ -41,11 +41,12 @@ let poll c =
   (* Count a leader change whenever a leader emerges that differs from the
      last known one (flapping through leaderless periods included). *)
   let lead = c.cb.leader () in
-  (match lead with
-  | Some l when c.last_leader <> Some l ->
-      if c.last_leader <> None then c.leader_changes <- c.leader_changes + 1;
+  (match (lead, c.last_leader) with
+  | Some l, Some prev when not (Int.equal prev l) ->
+      c.leader_changes <- c.leader_changes + 1;
       c.last_leader <- Some l
-  | Some _ | None -> ());
+  | Some l, None -> c.last_leader <- Some l
+  | Some _, Some _ | None, _ -> ());
   if c.in_flight > 0 && time -. c.last_progress > c.retry_ms then begin
     c.in_flight <- 0;
     c.last_progress <- time
@@ -234,9 +235,15 @@ module Kv = struct
               c.pending <- None
             end)
     | None -> ());
-    if c.pending = None then begin
+    if Option.is_none c.pending then begin
       let op = gen_op c in
-      let read = match op with Replog.Command.Kv_get _ -> true | _ -> false in
+      let read =
+        match op with
+        | Replog.Command.Kv_get _ -> true
+        | Replog.Command.Noop | Replog.Command.Kv_put _
+        | Replog.Command.Kv_del _ | Replog.Command.Blob _ ->
+            false
+      in
       match c.cb.kc_choose_node ~read with
       | None -> ()
       | Some node ->

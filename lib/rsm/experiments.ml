@@ -422,7 +422,8 @@ let table1 ?(seeds = [ 1; 2 ]) ?(partition_ms = 30_000.0) ?(cp = 50) () =
         in
         downtime < 0.5 *. partition_ms
         &&
-        if kind = Chained then begin
+        if (match kind with Chained -> true | Quorum_loss | Constrained -> false)
+        then begin
           let baseline_rate, _ =
             pr.pr_throughput cfg ~wan:false ~cp ~warmup_ms:1000.0
               ~duration_ms:2000.0

@@ -66,8 +66,13 @@ module Obs_hooks = struct
       match leader with
       | None -> ()
       | Some pid ->
-          if s.last_leader <> Some (pid, term) then begin
-            let first = s.last_leader = None in
+          let same =
+            match s.last_leader with
+            | Some (p, t) -> Int.equal p pid && Int.equal t term
+            | None -> false
+          in
+          if not same then begin
+            let first = Option.is_none s.last_leader in
             s.last_leader <- Some (pid, term);
             let b = { Obs.Event.n = term; prio = 0; pid } in
             Obs.Trace.emit ~node

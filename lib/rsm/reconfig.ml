@@ -143,9 +143,9 @@ module Omni = struct
      after the transition). *)
   let check_all_running t ~cfg =
     if
-      t.migration_done_at = None
+      Option.is_none t.migration_done_at
       && List.for_all
-           (fun j -> replica_of t.servers.(j) cfg <> None)
+           (fun j -> Option.is_some (replica_of t.servers.(j) cfg))
            t.p.new_nodes
     then begin
       t.migration_done_at <- Some (Net.now t.net);
@@ -188,12 +188,12 @@ module Omni = struct
     let entries = R.read_decided r ~from:s.seen.(cfg) in
     s.seen.(cfg) <- R.decided_idx r;
     s.cmds.(cfg) <- s.cmds.(cfg) + count_client_cmds entries;
-    if (not s.transitioned) && cfg = 0 && R.stop_sign r <> None then
+    if (not s.transitioned) && cfg = 0 && Option.is_some (R.stop_sign r) then
       transition t s r
 
   and transition t s r0 =
     s.transitioned <- true;
-    if t.reconfig_committed_at = None then begin
+    if Option.is_none t.reconfig_committed_at then begin
       t.reconfig_committed_at <- Some (Net.now t.net);
       trace_milestone ~node:s.id ~config_id:1 "stop-sign-decided"
     end;
@@ -319,7 +319,8 @@ module Omni = struct
         | Some r -> R.handle r ~src m
         | None -> ())
     | New_config { cfg; nodes; total } ->
-        if s.migration = None && replica_of s cfg = None then begin
+        if Option.is_none s.migration && Option.is_none (replica_of s cfg)
+        then begin
           ignore nodes;
           start_migration t s ~cfg ~total
         end
@@ -335,10 +336,11 @@ module Omni = struct
       (fun s ->
         match s.replicas with
         | (cfg, r) :: _ when R.is_leader r && not (R.is_stopped r) -> (
-            let key = (cfg, server_cmds s) in
+            let cmds = server_cmds s in
             match !best with
-            | Some (k, _) when k >= key -> ()
-            | Some _ | None -> best := Some (key, s.id))
+            | Some ((bc, bm), _) when bc > cfg || (bc = cfg && bm >= cmds) ->
+                ()
+            | Some _ | None -> best := Some ((cfg, cmds), s.id))
         | _ -> ())
       t.servers;
     Option.map snd !best
@@ -359,7 +361,7 @@ module Omni = struct
 
   (* Ask the current old-configuration leader to stop the configuration. *)
   let try_request_reconfig t =
-    if t.reconfig_committed_at = None then
+    if Option.is_none t.reconfig_committed_at then
       Array.iter
         (fun s ->
           match replica_of s 0 with
@@ -431,11 +433,11 @@ module Omni = struct
             (fun s ->
               List.iter (fun (_, r) -> R.tick r) s.replicas;
               if
-                s.migration <> None
+                Option.is_some s.migration
                 && !tick_counter mod (4 * election_ticks t) = 0
               then request_missing t s ~cfg:1)
             servers;
-          if t.ss_requested && t.reconfig_committed_at = None then
+          if t.ss_requested && Option.is_none t.reconfig_committed_at then
             try_request_reconfig t;
           tick_loop ())
     in
@@ -559,19 +561,25 @@ module Raft_runner = struct
   (* Activate the new servers as learners at the current leader and append
      the config entry; re-issued if leadership moves before it commits. *)
   let drive_reconfig t =
-    if t.reconfig_requested && t.reconfig_committed_at = None then begin
+    if t.reconfig_requested && Option.is_none t.reconfig_committed_at
+    then begin
       (* Activate new server nodes on first use. They join as true learners
          (not in the voter set), so they cannot campaign while catching up;
          the committed Config entry promotes them. *)
       List.iter
         (fun id ->
-          if t.nodes.(id) = None then
-            ignore
-              (make_node t ~id ~voters:t.p.old_nodes
-                 ~persistent:(N.fresh_persistent ())))
+          if Option.is_none t.nodes.(id) then
+            let (_ : node_state) =
+              make_node t ~id ~voters:t.p.old_nodes
+                ~persistent:(N.fresh_persistent ())
+            in
+            ())
         t.p.new_nodes;
+      let already_proposed l =
+        match t.proposed_to with Some p -> Int.equal p l | None -> false
+      in
       match leader t with
-      | Some l when t.proposed_to <> Some l ->
+      | Some l when not (already_proposed l) ->
           let ns = Option.get t.nodes.(l) in
           let joining =
             List.filter (fun j -> not (List.mem j t.p.old_nodes)) t.p.new_nodes
@@ -583,11 +591,11 @@ module Raft_runner = struct
     end
 
   let check_progress t =
-    (if t.reconfig_committed_at = None then
+    (if Option.is_none t.reconfig_committed_at then
        let committed =
          Array.exists
            (function
-             | Some ns -> N.committed_config ns.node <> None
+             | Some ns -> Option.is_some (N.committed_config ns.node)
              | None -> false)
            t.nodes
        in
@@ -595,12 +603,14 @@ module Raft_runner = struct
          t.reconfig_committed_at <- Some (Net.now t.net);
          trace_milestone ~node:(-1) ~config_id:1 "config-committed"
        end);
-    if t.migration_done_at = None && t.reconfig_committed_at <> None then
+    if Option.is_none t.migration_done_at
+       && Option.is_some t.reconfig_committed_at
+    then
       if
         List.for_all
           (fun id ->
             match t.nodes.(id) with
-            | Some ns -> N.committed_config ns.node <> None
+            | Some ns -> Option.is_some (N.committed_config ns.node)
             | None -> false)
           t.p.new_nodes
       then begin
@@ -641,9 +651,11 @@ module Raft_runner = struct
     in
     List.iter
       (fun id ->
-        ignore
-          (make_node t ~id ~voters:p.old_nodes
-             ~persistent:(preloaded_persistent p.preload)))
+        let (_ : node_state) =
+          make_node t ~id ~voters:p.old_nodes
+            ~persistent:(preloaded_persistent p.preload)
+        in
+        ())
       p.old_nodes;
     let rec tick_loop () =
       Net.schedule net ~delay:p.net_cfg.tick_ms (fun () ->

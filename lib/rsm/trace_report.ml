@@ -43,7 +43,8 @@ let summarize (events : Obs.Event.t list) =
           | Some t0 -> Obs.Metric.Histogram.observe gaps (e.time -. t0)
           | None -> ());
           last_decide := Some e.time
-      | _ -> ())
+      (* Counting pass: kinds without a dedicated tally only feed [by_kind]. *)
+      | _ [@lint.allow "D4"] -> ())
     events;
   let violations =
     List.filter_map
@@ -54,11 +55,8 @@ let summarize (events : Obs.Event.t list) =
   {
     events = List.length events;
     span_ms = (if Float.is_nan !first_t then 0.0 else !last_t -. !first_t);
-    by_kind =
-      List.sort compare
-        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_kind []);
-    nodes =
-      List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) nodes []);
+    by_kind = Replog.Det.sorted_bindings ~compare_key:String.compare by_kind;
+    nodes = Replog.Det.sorted_keys ~compare_key:Int.compare nodes;
     leader_changes = !leader_changes;
     decides = !decides;
     max_decided_idx = !max_decided;
@@ -66,7 +64,7 @@ let summarize (events : Obs.Event.t list) =
     violations;
   }
 
-let passed s = s.violations = []
+let passed s = List.is_empty s.violations
 
 (** Mean decide gap with a 95% t-based confidence interval, composing the
     histogram's exact moments with [Metrics.Stats]. [nan]s when there are

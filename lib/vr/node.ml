@@ -10,6 +10,9 @@ type msg = Vr of vr_msg | Sp of Sp.msg
 
 type status = Normal | View_change
 
+let status_is_normal = function Normal -> true | View_change -> false
+let status_is_view_change = function View_change -> true | Normal -> false
+
 type t = {
   id : int;
   peers : int list;
@@ -77,7 +80,7 @@ let become_leader t view =
    (send Do_view_change) for the new leader. *)
 let check_svc_quorum t =
   if
-    t.status = View_change
+    status_is_view_change t.status
     && (not t.dvc_sent)
     && Hashtbl.length t.svc >= t.quorum
   then begin
@@ -110,11 +113,11 @@ let on_vr t ~src msg =
   match msg with
   | Start_view_change { view } ->
       if view > t.view then begin
-        if t.status = View_change && view = t.proposed_view then begin
+        if status_is_view_change t.status && view = t.proposed_view then begin
           Hashtbl.replace t.svc src ();
           check_svc_quorum t
         end
-        else if t.status = Normal || view > t.proposed_view then begin
+        else if status_is_normal t.status || view > t.proposed_view then begin
           (* Join (and forward) the higher view change. *)
           start_view_change t view;
           Hashtbl.replace t.svc src ();
@@ -123,7 +126,8 @@ let on_vr t ~src msg =
       end
   | Do_view_change { view } ->
       if
-        t.status = View_change && view = t.proposed_view
+        status_is_view_change t.status
+        && view = t.proposed_view
         && leader_of t view = t.id
       then begin
         Hashtbl.replace t.dvc src ();
@@ -136,9 +140,13 @@ let on_vr t ~src msg =
       end
   | Start_view { view } -> if view > t.view then enter_view t view
   | Ping { view } ->
-      if view >= t.view && (view > t.view || t.status = Normal || view >= t.proposed_view)
+      if
+        view >= t.view
+        && (view > t.view || status_is_normal t.status
+           || view >= t.proposed_view)
       then begin
-        if view > t.view || t.status = View_change then enter_view t view
+        if view > t.view || status_is_view_change t.status then
+          enter_view t view
         else t.ticks_since_ping <- 0
       end
 
@@ -147,7 +155,7 @@ let handle t ~src msg =
   | Vr m -> on_vr t ~src m
   | Sp m -> Sp.handle t.sp ~src m
 
-let is_leader t = t.status = Normal && leader_of t t.view = t.id
+let is_leader t = status_is_normal t.status && leader_of t t.view = t.id
 
 let tick t =
   t.tick_count <- t.tick_count + 1;

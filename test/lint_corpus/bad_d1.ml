@@ -1,0 +1,11 @@
+(* D1 corpus: polymorphic comparison at a non-primitive type. *)
+
+type ballot = { n : int; pid : int }
+
+let newer (a : ballot) (b : ballot) = a > b
+let same (a : ballot) (b : ballot) = a = b
+let best (a : ballot) (b : ballot) = max a b
+
+(* Primitive instantiations stay clean. *)
+let clean_int (a : int) (b : int) = a = b && Int.compare a b < 0
+let clean_string (a : string) (b : string) = a < b

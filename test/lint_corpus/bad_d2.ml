@@ -1,0 +1,13 @@
+(* D2 corpus: Hashtbl iteration order escaping into sends / accumulation. *)
+
+let send ~dst:_ _ = ()
+
+let broadcast (tbl : (int, string) Hashtbl.t) =
+  Hashtbl.iter (fun dst m -> send ~dst m) tbl
+
+let collect (tbl : (int, string) Hashtbl.t) =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+
+(* A fold that feeds a sort directly is canonicalized and stays clean. *)
+let sorted (tbl : (int, string) Hashtbl.t) =
+  List.sort Int.compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])

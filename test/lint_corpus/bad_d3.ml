@@ -1,0 +1,8 @@
+(* D3 corpus: wall-clock and ambient entropy. *)
+
+let now () = Sys.time ()
+let seed () = Random.self_init ()
+let roll () = Random.int 6
+
+(* Seeded generators are deterministic and stay clean. *)
+let clean_roll st = Random.State.int st 6

@@ -1,0 +1,14 @@
+(* D4 corpus: catch-all arms over a protocol message variant. *)
+
+type msg = Prepare of int | Promise of int | Accept of int | Decide of int
+
+let is_prepare = function Prepare _ -> true | _ -> false
+
+let tag m = match m with Prepare _ -> 0 | Promise _ -> 1 | _ -> 2
+
+(* Exhaustive matches stay clean. *)
+let clean_tag = function
+  | Prepare _ -> 0
+  | Promise _ -> 1
+  | Accept _ -> 2
+  | Decide _ -> 3

@@ -1,0 +1,12 @@
+(* D5 corpus: ignoring a value that carries protocol state. *)
+
+type state = { mutable round : int }
+
+let bump s =
+  s.round <- s.round + 1;
+  s
+
+let run s = ignore (bump s)
+
+(* Ignoring a primitive stays clean. *)
+let clean s = ignore (s.round + 1)

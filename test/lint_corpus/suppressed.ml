@@ -1,0 +1,12 @@
+(* Suppression corpus: every finding here is annotated away. *)
+
+type ballot = { n : int; pid : int }
+
+let newer (a : ballot) (b : ballot) = (a > b) [@lint.allow "D1"]
+
+let collect (tbl : (int, string) Hashtbl.t) =
+  (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] [@lint.allow "D2"])
+
+type msg = Ping of int | Pong of int
+
+let is_ping = function Ping _ -> true | _ [@lint.allow "D4"] -> false
