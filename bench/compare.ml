@@ -1,0 +1,49 @@
+(* Bench regression gate CLI.
+
+   Usage: compare.exe BASELINE_DIR CURRENT_DIR section [section ...]
+
+   Diffs BASELINE_DIR/BENCH_<section>.json against the same file in
+   CURRENT_DIR using the per-metric tolerances of Bench_report.Compare.
+   Exit codes: 0 all sections within tolerance; 1 at least one metric
+   regressed (or the report structure changed); 2 usage or IO error.
+
+   To refresh the baseline after an intentional performance change, re-run
+   the quick bench and copy the new files over bench/baseline/ (see
+   EXPERIMENTS.md for the procedure and the tolerance rationale). *)
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: baseline_dir :: current_dir :: (_ :: _ as sections) ->
+      let failures = ref 0 in
+      List.iter
+        (fun section ->
+          let file = Bench_report.Report.file_name ~section in
+          let baseline = Filename.concat baseline_dir file in
+          let current = Filename.concat current_dir file in
+          match Bench_report.Compare.compare_files ~baseline ~current with
+          | Error msg ->
+              incr failures;
+              Printf.printf "[%s] ERROR %s\n" section msg
+          | Ok [] -> Printf.printf "[%s] ok\n" section
+          | Ok diffs ->
+              incr failures;
+              Printf.printf "[%s] %d metric(s) outside tolerance:\n" section
+                (List.length diffs);
+              List.iter
+                (fun d ->
+                  Printf.printf "  %s\n"
+                    (Format.asprintf "%a" Bench_report.Compare.pp_diff d))
+                diffs)
+        sections;
+      if !failures > 0 then begin
+        Printf.printf
+          "\n%d section(s) failed the gate; see EXPERIMENTS.md for the \
+           baseline refresh procedure.\n"
+          !failures;
+        exit 1
+      end
+      else Printf.printf "\nAll sections within tolerance.\n"
+  | _ ->
+      prerr_endline
+        "usage: compare.exe BASELINE_DIR CURRENT_DIR section [section ...]";
+      exit 2

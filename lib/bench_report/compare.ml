@@ -1,0 +1,131 @@
+type tolerance = Exact | Ignore | Tol of { rel : float; abs : float }
+
+let has_suffix s ~suffix =
+  let ls = String.length s and lx = String.length suffix in
+  ls >= lx && String.equal (String.sub s (ls - lx) lx) suffix
+
+(* Tolerance classes by field-name suffix; rationale in the .mli and in
+   EXPERIMENTS.md. *)
+let tolerance_for key =
+  if has_suffix key ~suffix:"_ci" then Ignore
+  else if has_suffix key ~suffix:"_rate" then Tol { rel = 0.30; abs = 25.0 }
+  else if has_suffix key ~suffix:"_ms" then Tol { rel = 0.50; abs = 10.0 }
+  else if has_suffix key ~suffix:"_bytes" then Tol { rel = 0.30; abs = 4096.0 }
+  else if has_suffix key ~suffix:"_msgs" then Tol { rel = 0.30; abs = 50.0 }
+  else if has_suffix key ~suffix:"_pct" then Tol { rel = 0.50; abs = 1.0 }
+  else if has_suffix key ~suffix:"_count" then Tol { rel = 0.30; abs = 25.0 }
+  else Exact
+
+type diff = { d_path : string; d_msg : string }
+
+let leaf_name path =
+  match String.rindex_opt path '.' with
+  | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+  | None -> path
+
+let number_of = function
+  | Json.Int i -> Some (float_of_int i)
+  | Json.Float f -> Some f
+  | Json.Null | Json.Bool _ | Json.String _ | Json.List _ | Json.Obj _ -> None
+
+let type_name = function
+  | Json.Null -> "null"
+  | Json.Bool _ -> "bool"
+  | Json.Int _ -> "int"
+  | Json.Float _ -> "float"
+  | Json.String _ -> "string"
+  | Json.List _ -> "array"
+  | Json.Obj _ -> "object"
+
+let rec diff_values ~path ~baseline ~current =
+  match (baseline, current) with
+  | Json.Obj bs, Json.Obj cs ->
+      if
+        not
+          (List.equal String.equal (List.map fst bs) (List.map fst cs))
+      then
+        [
+          {
+            d_path = path;
+            d_msg =
+              Printf.sprintf "field set changed: [%s] vs [%s]"
+                (String.concat "; " (List.map fst bs))
+                (String.concat "; " (List.map fst cs));
+          };
+        ]
+      else
+        List.concat_map
+          (fun ((k, b), (_, c)) ->
+            diff_values ~path:(path ^ "." ^ k) ~baseline:b ~current:c)
+          (List.combine bs cs)
+  | Json.List bs, Json.List cs ->
+      if List.length bs <> List.length cs then
+        [
+          {
+            d_path = path;
+            d_msg =
+              Printf.sprintf "array length changed: %d vs %d"
+                (List.length bs) (List.length cs);
+          };
+        ]
+      else
+        List.concat
+          (List.mapi
+             (fun i (b, c) ->
+               diff_values
+                 ~path:(Printf.sprintf "%s[%d]" path i)
+                 ~baseline:b ~current:c)
+             (List.combine bs cs))
+  | b, c -> (
+      match tolerance_for (leaf_name path) with
+      | Ignore -> []
+      | Exact ->
+          if Json.equal b c then []
+          else
+            [
+              {
+                d_path = path;
+                d_msg =
+                  Printf.sprintf "expected %s, got %s"
+                    (String.trim (Json.to_string b))
+                    (String.trim (Json.to_string c));
+              };
+            ]
+      | Tol { rel; abs } -> (
+          match (number_of b, number_of c) with
+          | Some bf, Some cf ->
+              let allowed = Float.max abs (rel *. Float.abs bf) in
+              if Float.abs (cf -. bf) <= allowed then []
+              else
+                [
+                  {
+                    d_path = path;
+                    d_msg =
+                      Printf.sprintf
+                        "%.6g is outside baseline %.6g +/- %.6g" cf bf
+                        allowed;
+                  };
+                ]
+          | _ ->
+              (* A tolerance-class field that is not numeric on one side:
+                 null (a NaN metric) still matches null exactly. *)
+              if Json.equal b c then []
+              else
+                [
+                  {
+                    d_path = path;
+                    d_msg =
+                      Printf.sprintf "type changed: %s vs %s" (type_name b)
+                        (type_name c);
+                  };
+                ]))
+
+let pp_diff ppf d = Format.fprintf ppf "%s: %s" d.d_path d.d_msg
+
+let compare_files ~baseline ~current =
+  match Report.load baseline with
+  | Error e -> Error (Printf.sprintf "%s: %s" baseline e)
+  | Ok b -> (
+      match Report.load current with
+      | Error e -> Error (Printf.sprintf "%s: %s" current e)
+      | Ok c -> Ok (diff_values ~path:"$" ~baseline:b ~current:c))

@@ -1,0 +1,49 @@
+(** Regression gate over two bench report sets.
+
+    Two [BENCH_<section>.json] trees (a checked-in baseline and a fresh run)
+    are compared structurally: the same fields must be present in the same
+    order, and every leaf must match. Numeric metric leaves are allowed a
+    per-metric tolerance picked by field-name suffix; everything else
+    (config echoes like [n]/[cp]/[seeds], section names, booleans) must be
+    exact.
+
+    Tolerance classes (relative fraction of the baseline, with an absolute
+    floor so near-zero baselines don't explode the relative error):
+    - [*_ci]: ignored — confidence intervals over a couple of seeds are the
+      noisiest number in the file and gate nothing.
+    - [*_rate]: 30% / 25.0 — throughput regressions beyond a third are what
+      the gate exists to catch; smaller drifts accompany legitimate
+      protocol changes (message-size tweaks shift the bandwidth model).
+    - [*_ms]: 50% / 10.0 — latency percentiles and downtimes are quantised
+      by tick and timeout granularity.
+    - [*_bytes]: 30% / 4096.0, [*_msgs]: 30% / 50.0 — IO volume moves
+      whenever message framing changes; a 30% jump means a batching or
+      retransmission bug.
+    - [*_pct]: 50% / 1.0.
+    - [*_count]: 30% / 25.0.
+
+    The simulator is deterministic, so an unchanged tree compares
+    byte-identical and the tolerances only absorb *intentional* code
+    changes; anything outside them fails the gate and demands either a fix
+    or an explicit baseline refresh (see EXPERIMENTS.md). *)
+
+type tolerance =
+  | Exact
+  | Ignore
+  | Tol of { rel : float; abs : float }
+      (** passes when [|cur - base| <= max (abs, rel *. |base|)] *)
+
+val tolerance_for : string -> tolerance
+(** Tolerance class of a leaf field, by name suffix (see above). *)
+
+type diff = { d_path : string; d_msg : string }
+
+val diff_values : path:string -> baseline:Json.t -> current:Json.t -> diff list
+(** Structural diff; numeric leaves use the tolerance of the innermost
+    field name on the path. Returns [] when the trees match. *)
+
+val pp_diff : Format.formatter -> diff -> unit
+
+val compare_files : baseline:string -> current:string -> (diff list, string) result
+(** Load both paths and diff them. [Error] on unreadable/unparsable
+    input. *)

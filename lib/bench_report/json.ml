@@ -1,0 +1,270 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of t_float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+and t_float = float
+
+let float f = if Float.is_finite f then Float f else Null
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let escape_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let float_to_string f =
+  if not (Float.is_finite f) then "null"
+  else
+    let s = Printf.sprintf "%.12g" f in
+    (* Keep floats recognisable as floats on re-parse. *)
+    if String.contains s '.' || String.contains s 'e' || String.contains s 'n'
+    then s
+    else s ^ ".0"
+
+let rec emit b ~indent v =
+  let pad n = Buffer.add_string b (String.make n ' ') in
+  match v with
+  | Null -> Buffer.add_string b "null"
+  | Bool true -> Buffer.add_string b "true"
+  | Bool false -> Buffer.add_string b "false"
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f -> Buffer.add_string b (float_to_string f)
+  | String s -> escape_string b s
+  | List [] -> Buffer.add_string b "[]"
+  | List items ->
+      Buffer.add_string b "[\n";
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_string b ",\n";
+          pad (indent + 2);
+          emit b ~indent:(indent + 2) item)
+        items;
+      Buffer.add_char b '\n';
+      pad indent;
+      Buffer.add_char b ']'
+  | Obj [] -> Buffer.add_string b "{}"
+  | Obj fields ->
+      Buffer.add_string b "{\n";
+      List.iteri
+        (fun i (k, item) ->
+          if i > 0 then Buffer.add_string b ",\n";
+          pad (indent + 2);
+          escape_string b k;
+          Buffer.add_string b ": ";
+          emit b ~indent:(indent + 2) item)
+        fields;
+      Buffer.add_char b '\n';
+      pad indent;
+      Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 4096 in
+  emit b ~indent:0 v;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when Char.equal c c' -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    if
+      !pos + String.length word <= n
+      && String.equal (String.sub s !pos (String.length word)) word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail (Printf.sprintf "expected '%s'" word)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      if Char.equal c '"' then Buffer.contents b
+      else if Char.equal c '\\' then begin
+        (if !pos >= n then fail "unterminated escape");
+        let e = s.[!pos] in
+        advance ();
+        (match e with
+        | '"' -> Buffer.add_char b '"'
+        | '\\' -> Buffer.add_char b '\\'
+        | '/' -> Buffer.add_char b '/'
+        | 'n' -> Buffer.add_char b '\n'
+        | 'r' -> Buffer.add_char b '\r'
+        | 't' -> Buffer.add_char b '\t'
+        | 'b' -> Buffer.add_char b '\b'
+        | 'f' -> Buffer.add_char b '\012'
+        | 'u' ->
+            if !pos + 4 > n then fail "truncated \\u escape";
+            let hex = String.sub s !pos 4 in
+            pos := !pos + 4;
+            let code =
+              match int_of_string_opt ("0x" ^ hex) with
+              | Some c -> c
+              | None -> fail "bad \\u escape"
+            in
+            (* The printer only emits \u for control characters; decode the
+               single-byte range and keep anything else as '?'. *)
+            if code < 0x80 then Buffer.add_char b (Char.chr code)
+            else Buffer.add_char b '?'
+        | _ -> fail "bad escape");
+        go ()
+      end
+      else begin
+        Buffer.add_char b c;
+        go ()
+      end
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    let tok = String.sub s start (!pos - start) in
+    let is_float =
+      String.contains tok '.' || String.contains tok 'e'
+      || String.contains tok 'E'
+    in
+    if is_float then
+      match float_of_string_opt tok with
+      | Some f -> Float f
+      | None -> fail "bad float"
+    else
+      match int_of_string_opt tok with
+      | Some i -> Int i
+      | None -> fail "bad int"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> String (parse_string ())
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if (match peek () with Some ']' -> true | _ -> false) then begin
+          advance ();
+          List []
+        end
+        else begin
+          let items = ref [ parse_value () ] in
+          skip_ws ();
+          while (match peek () with Some ',' -> true | _ -> false) do
+            advance ();
+            items := parse_value () :: !items;
+            skip_ws ()
+          done;
+          expect ']';
+          List (List.rev !items)
+        end
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if (match peek () with Some '}' -> true | _ -> false) then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let field () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (k, v)
+          in
+          let fields = ref [ field () ] in
+          skip_ws ();
+          while (match peek () with Some ',' -> true | _ -> false) do
+            advance ();
+            fields := field () :: !fields;
+            skip_ws ()
+          done;
+          expect '}';
+          Obj (List.rev !fields)
+        end
+    | Some _ -> parse_number ()
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos < n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg
+
+let member k = function
+  | Obj fields ->
+      List.find_map
+        (fun (k', v) -> if String.equal k k' then Some v else None)
+        fields
+  | Null | Bool _ | Int _ | Float _ | String _ | List _ -> None
+
+let rec equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool x, Bool y -> Bool.equal x y
+  | Int x, Int y -> Int.equal x y
+  | Float x, Float y -> Float.equal x y
+  | String x, String y -> String.equal x y
+  | List x, List y -> List.equal equal x y
+  | Obj x, Obj y ->
+      List.equal
+        (fun (k, v) (k', v') -> String.equal k k' && equal v v')
+        x y
+  | (Null | Bool _ | Int _ | Float _ | String _ | List _ | Obj _), _ -> false

@@ -1,0 +1,39 @@
+(** A minimal, dependency-free JSON tree with a deterministic printer and a
+    strict parser — the wire format of the bench pipeline ([BENCH_*.json]
+    files and the {!Compare} regression gate).
+
+    Determinism contract: [to_string] is a pure function of the tree.
+    Object fields keep their construction order (callers build them in a
+    fixed order), floats are printed with [%.12g] (enough digits to
+    round-trip any value the benches produce, with no locale dependence),
+    and non-finite floats are printed as [null] so a NaN metric cannot
+    produce invalid JSON. Two runs that build equal trees therefore emit
+    byte-identical files. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of t_float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+and t_float = float
+
+val float : float -> t
+(** [Float f], with non-finite [f] collapsed to [Null]. *)
+
+val to_string : t -> string
+(** Pretty-printed with 2-space indentation and a trailing newline, so the
+    files diff well under version control. *)
+
+val of_string : string -> (t, string) result
+(** Strict parser for the subset [to_string] emits (plus arbitrary
+    whitespace): no comments, no trailing commas. Numbers with a [.], [e]
+    or [E] parse as [Float]; everything else as [Int]. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] on missing field or non-object. *)
+
+val equal : t -> t -> bool

@@ -1,0 +1,35 @@
+let schema_version = 1
+
+let file_name ~section = "BENCH_" ^ section ^ ".json"
+
+let envelope ~section ~seeds ~quick ~rows =
+  Json.Obj
+    [
+      ("schema_version", Json.Int schema_version);
+      ("section", Json.String section);
+      ("seeds", Json.List (List.map (fun s -> Json.Int s) seeds));
+      ("quick", Json.Bool quick);
+      ("rows", rows);
+    ]
+
+let render ~section ~seeds ~quick ~rows =
+  Json.to_string (envelope ~section ~seeds ~quick ~rows)
+
+let write_envelope ~dir ~section json =
+  let path = Filename.concat dir (file_name ~section) in
+  let oc = open_out path in
+  output_string oc (Json.to_string json);
+  close_out oc;
+  path
+
+let write ~dir ~section ~seeds ~quick ~rows =
+  write_envelope ~dir ~section (envelope ~section ~seeds ~quick ~rows)
+
+let load path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let len = in_channel_length ic in
+      let contents = really_input_string ic len in
+      close_in ic;
+      Json.of_string contents

@@ -1,0 +1,37 @@
+(** Machine-readable bench reports: every section of [bench/main.exe] feeds
+    its rows through this module, which wraps them in a common envelope and
+    writes a deterministic [BENCH_<section>.json] file.
+
+    The envelope is:
+    {v
+    { "schema_version": 1,
+      "section": "<name>",
+      "seeds": [...],        // the simulator seeds the rows aggregate over
+      "quick": true|false,   // BENCH_QUICK reduced configuration?
+      "rows": <section-specific array of objects> }
+    v}
+
+    Everything inside is a pure function of the simulation results, so two
+    runs with the same seeds produce byte-identical files (the determinism
+    test in [test/] double-renders each section and compares bytes). *)
+
+val schema_version : int
+
+val file_name : section:string -> string
+(** ["BENCH_" ^ section ^ ".json"]. *)
+
+val envelope : section:string -> seeds:int list -> quick:bool -> rows:Json.t -> Json.t
+
+val render : section:string -> seeds:int list -> quick:bool -> rows:Json.t -> string
+(** The full file contents ({!envelope} through {!Json.to_string}). *)
+
+val write :
+  dir:string -> section:string -> seeds:int list -> quick:bool -> rows:Json.t -> string
+(** Write {!render} to [dir ^ "/" ^ file_name ~section] and return that
+    path. [dir] must exist. *)
+
+val write_envelope : dir:string -> section:string -> Json.t -> string
+(** Write an already-built envelope (e.g. from {!envelope}). *)
+
+val load : string -> (Json.t, string) result
+(** Read and parse a report file. *)

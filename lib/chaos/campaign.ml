@@ -102,6 +102,7 @@ module Make (P : Rsm.Protocol.PROTOCOL) = struct
           latency_ms = cfg.latency_ms;
           egress_bw = infinity;
           seed;
+          batching = Omnipaxos.Batching.fixed;
         }
     in
     let net = C.net t in

@@ -14,9 +14,9 @@ module Make (P : Rsm.Protocol.PROTOCOL) = struct
 
   let name = P.name ^ " (stale reads)"
 
-  let create ~id ~peers ~election_ticks ~rand ~send () =
+  let create ?batching ~id ~peers ~election_ticks ~rand ~send () =
     {
-      inner = P.create ~id ~peers ~election_ticks ~rand ~send ();
+      inner = P.create ?batching ~id ~peers ~election_ticks ~rand ~send ();
       cache = Rsm.Protocol.Decided_cache.create ();
       scanned = 0;
     }

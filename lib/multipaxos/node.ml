@@ -69,14 +69,13 @@ type t = {
   slots : (int, slot_state) Hashtbl.t;
   mutable next_slot : int;
   mutable pending_from : int;
+  max_batch : int;
+  eager_batch : int;  (* 0 = flush only on tick *)
   (* Learner state. *)
   decided : Command.t Log.t;
 }
 
 let noop_id = -1
-
-(* Cap on commands per P2a; a large backlog streams across flushes. *)
-let max_batch = 4096
 
 (* Decided values reported in a P1b carry a sentinel ballot so they always
    win the max-ballot adoption; this is safe because a slot's decided value
@@ -84,8 +83,8 @@ let max_batch = 4096
    deciding one. *)
 let decided_ballot pid = { n = max_int; pid }
 
-let create ~id ~peers ~election_ticks ~rand ~send ?(on_decide = fun _ -> ())
-    () =
+let create ~id ~peers ~election_ticks ~rand ?(max_batch = 4096)
+    ?(eager_batch = 0) ~send ?(on_decide = fun _ -> ()) () =
   let n_total = List.length peers + 1 in
   {
     id;
@@ -111,6 +110,8 @@ let create ~id ~peers ~election_ticks ~rand ~send ?(on_decide = fun _ -> ())
     slots = Hashtbl.create 64;
     next_slot = 0;
     pending_from = 0;
+    max_batch = max 1 max_batch;
+    eager_batch;
     decided = Log.create ();
   }
 
@@ -166,9 +167,11 @@ let try_commit_slot t slot =
       s.committed <- true
   | Some _ | None -> ()
 
+(* Cap on commands per P2a is [t.max_batch]; a large backlog streams across
+   flushes. *)
 let flush_p2a t =
   if state_is_active t.state && t.pending_from < t.next_slot then begin
-    let count = min max_batch (t.next_slot - t.pending_from) in
+    let count = min t.max_batch (t.next_slot - t.pending_from) in
     let cmds =
       List.filter_map
         (fun slot ->
@@ -195,6 +198,11 @@ let propose_in_slot t cmd =
 let propose t cmd =
   if state_is_active t.state then begin
     propose_in_slot t cmd;
+    (* Mirror of the Omni-Paxos adaptive-batching eager flush: once the
+       pending burst reaches [eager_batch], ship it now rather than waiting
+       for the next tick. *)
+    if t.eager_batch > 0 && t.next_slot - t.pending_from >= t.eager_batch then
+      flush_p2a t;
     true
   end
   else false

@@ -50,10 +50,16 @@ val create :
   peers:int list ->
   election_ticks:int ->
   rand:Random.State.t ->
+  ?max_batch:int ->
+  ?eager_batch:int ->
   send:(dst:int -> msg -> unit) ->
   ?on_decide:(int -> unit) ->
   unit ->
   t
+(** [max_batch] (default 4096) caps commands per P2a; [eager_batch]
+    (default 0 = off) flushes pending proposals as soon as that many slots
+    are queued instead of waiting for the next tick — the Multi-Paxos
+    mirror of the Omni-Paxos adaptive batching knob. *)
 
 val handle : t -> src:int -> msg -> unit
 val tick : t -> unit

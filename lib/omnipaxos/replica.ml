@@ -15,7 +15,8 @@ type t = {
 }
 
 let create ~id ~peers ?priority ?qc_signal ?connectivity_priority
-    ?(hb_ticks = 10) ~storage ~send ?on_decide ?snapshotter ?on_snapshot () =
+    ?(hb_ticks = 10) ?batching ~storage ~send ?on_decide ?snapshotter
+    ?on_snapshot () =
   let sp_ref = ref None in
   let ble =
     Ble.create ~id ~peers ?priority ?qc_signal ?connectivity_priority
@@ -28,7 +29,7 @@ let create ~id ~peers ?priority ?qc_signal ?connectivity_priority
       ()
   in
   let sp =
-    Sequence_paxos.create ~id ~peers ~persistent:storage.Storage.sp
+    Sequence_paxos.create ~id ~peers ~persistent:storage.Storage.sp ?batching
       ~send:(fun ~dst m -> send ~dst (Sp_msg m))
       ?on_decide ?snapshotter ?on_snapshot ()
   in

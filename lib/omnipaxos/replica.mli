@@ -26,6 +26,7 @@ val create :
   ?qc_signal:bool ->
   ?connectivity_priority:bool ->
   ?hb_ticks:int ->
+  ?batching:Batching.config ->
   storage:Storage.t ->
   send:(dst:int -> msg -> unit) ->
   ?on_decide:(int -> unit) ->
@@ -33,9 +34,10 @@ val create :
   ?on_snapshot:(int -> string -> unit) ->
   unit ->
   t
-(** [hb_ticks] defaults to 10. [snapshotter] / [on_snapshot] enable
-    snapshot-based repair of followers below the trim point; see
-    {!Sequence_paxos.create}. *)
+(** [hb_ticks] defaults to 10. [batching] selects the Sequence Paxos
+    batch-flush policy (default {!Batching.fixed}). [snapshotter] /
+    [on_snapshot] enable snapshot-based repair of followers below the trim
+    point; see {!Sequence_paxos.create}. *)
 
 val handle : t -> src:int -> msg -> unit
 val tick : t -> unit

@@ -52,10 +52,6 @@ let role_is_leader_accept = function
   | Leader_accept -> true
   | Follower | Leader_prepare -> false
 
-(* Cap on entries per Accept, as real implementations bound their message
-   size; a large backlog streams as a pipeline of batches across flushes. *)
-let max_batch = 4096
-
 type promise_info = {
   p_acc_rnd : Ballot.t;
   p_log_idx : int;
@@ -73,6 +69,7 @@ type t = {
   on_decide : int -> unit;
   snapshotter : (unit -> string) option;
   on_snapshot : int -> string -> unit;
+  batching : Batching.config;
   mutable role : role;
   (* Prepare-phase state. *)
   promises : (int, promise_info) Hashtbl.t;
@@ -81,6 +78,15 @@ type t = {
   synced : (int, unit) Hashtbl.t;
   acc_idx : (int, int) Hashtbl.t;
   sent_idx : (int, int) Hashtbl.t;
+  (* Adaptive-batching state (see batching.mli). [batch_cap] is the AIMD
+     per-Accept entry cap; [unflushed] counts leader appends since the last
+     flush (the size trigger); [ticks_since_flush] drives the deadline.
+     [acked_idx]/[ack_pending] implement follower-side ack coalescing. *)
+  mutable batch_cap : int;
+  mutable unflushed : int;
+  mutable ticks_since_flush : int;
+  mutable acked_idx : int;
+  mutable ack_pending : bool;
   (* Index of the stop-sign entry in the log, if any. *)
   mutable ss_idx : int option;
 }
@@ -102,9 +108,11 @@ let find_stop_sign_from log ~from =
       if Option.is_none !found && Entry.is_stop_sign e then found := Some i);
   !found
 
-let create ~id ~peers ~persistent ~send ?(on_decide = fun _ -> ())
-    ?snapshotter ?(on_snapshot = fun _ _ -> ()) () =
+let create ~id ~peers ~persistent ?(batching = Batching.fixed) ~send
+    ?(on_decide = fun _ -> ()) ?snapshotter ?(on_snapshot = fun _ _ -> ()) ()
+    =
   let n_total = List.length peers + 1 in
+  let batching = Batching.validated batching in
   {
     id;
     peers;
@@ -114,17 +122,28 @@ let create ~id ~peers ~persistent ~send ?(on_decide = fun _ -> ())
     on_decide;
     snapshotter;
     on_snapshot;
+    batching;
     role = Follower;
     promises = Hashtbl.create 8;
     buffer = Queue.create ();
     synced = Hashtbl.create 8;
     acc_idx = Hashtbl.create 8;
     sent_idx = Hashtbl.create 8;
+    batch_cap = batching.Batching.min_batch;
+    unflushed = 0;
+    ticks_since_flush = 0;
+    acked_idx = 0;
+    ack_pending = false;
     ss_idx = find_stop_sign_from persistent.log ~from:0;
   }
 
 let id t = t.id
 let role t = t.role
+let batching t = t.batching
+
+let batch_cap t =
+  if t.batching.Batching.adaptive then t.batch_cap
+  else t.batching.Batching.max_batch
 let is_leader t = not (role_is_follower t.role)
 let current_round t = t.dur.prom_rnd
 
@@ -291,6 +310,10 @@ let start_prepare t =
   Hashtbl.reset t.synced;
   Hashtbl.reset t.acc_idx;
   Hashtbl.reset t.sent_idx;
+  t.batch_cap <- t.batching.Batching.min_batch;
+  t.unflushed <- 0;
+  t.ticks_since_flush <- 0;
+  t.ack_pending <- false;
   if Obs.Trace.on () then
     Obs.Trace.emit ~node:t.id
       (Obs.Event.Prepare_round
@@ -397,6 +420,8 @@ let on_accept_sync t ~n ~sync_idx ~suffix ~l_decided_idx ~snapshot =
           Obs.Trace.emit ~node:t.id
             (Obs.Event.Accepted_idx
                { b = trace_ballot n; log_idx = Log.length t.dur.log });
+        t.acked_idx <- Log.length t.dur.log;
+        t.ack_pending <- false;
         t.send ~dst:n.Ballot.pid (Accepted { n; log_idx = Log.length t.dur.log });
         advance_decided t l_decided_idx
     | None ->
@@ -408,6 +433,8 @@ let on_accept_sync t ~n ~sync_idx ~suffix ~l_decided_idx ~snapshot =
             Obs.Trace.emit ~node:t.id
               (Obs.Event.Accepted_idx
                  { b = trace_ballot n; log_idx = Log.length t.dur.log });
+          t.acked_idx <- Log.length t.dur.log;
+          t.ack_pending <- false;
           t.send ~dst:n.Ballot.pid
             (Accepted { n; log_idx = Log.length t.dur.log });
           advance_decided t l_decided_idx
@@ -427,11 +454,24 @@ let on_accept t ~n ~start_idx ~entries ~l_decided_idx =
     let already = Log.length t.dur.log - start_idx in
     let fresh = if already <= 0 then entries else List.filteri (fun i _ -> i >= already) entries in
     List.iter (append_entry t) fresh;
+    let len = Log.length t.dur.log in
     if Obs.Trace.on () then
       Obs.Trace.emit ~node:t.id
-        (Obs.Event.Accepted_idx
-           { b = trace_ballot n; log_idx = Log.length t.dur.log });
-    t.send ~dst:n.Ballot.pid (Accepted { n; log_idx = Log.length t.dur.log });
+        (Obs.Event.Accepted_idx { b = trace_ballot n; log_idx = len });
+    (* Ack coalescing (adaptive policy): acknowledge at most once per
+       [ack_every] appended entries; anything deferred is swept by the next
+       tick's [flush]. The fixed policy acknowledges every batch. *)
+    let b = t.batching in
+    if
+      (not b.Batching.adaptive)
+      || b.Batching.ack_every <= 1
+      || len - t.acked_idx >= b.Batching.ack_every
+    then begin
+      t.acked_idx <- len;
+      t.ack_pending <- false;
+      t.send ~dst:n.Ballot.pid (Accepted { n; log_idx = len })
+    end
+    else t.ack_pending <- true;
     advance_decided t l_decided_idx
   end
 
@@ -525,6 +565,70 @@ let handle t ~src msg =
   | Trim { n; trim_idx } -> on_trim t ~n ~trim_idx
   | Prepare_req -> if is_leader t then resend_prepare_to t ~dst:src
 
+(* One flush: per promised follower, send the entries proposed since its
+   last batch, capped per Accept ([batch_cap] under the adaptive policy,
+   [max_batch] under the fixed one) — a backlog larger than one cap streams
+   as a pipeline of batches across successive flushes. The adaptive cap is
+   AIMD: it doubles towards [max_batch] while flushes run at capacity and
+   halves towards [min_batch] once the backlog drains, so frame sizes track
+   the offered load. *)
+let do_flush t =
+  let b = t.batching in
+  let cap = if b.Batching.adaptive then t.batch_cap else b.Batching.max_batch in
+  let len = Log.length t.dur.log in
+  let max_lag = ref 0 in
+  Replog.Det.iter_sorted ~compare_key:Int.compare
+    (fun f () ->
+      let from = Option.value (Hashtbl.find_opt t.sent_idx f) ~default:len in
+      if from < len then begin
+        max_lag := max !max_lag (len - from);
+        let count = min cap (len - from) in
+        if Obs.Trace.on () then
+          Obs.Trace.emit ~node:t.id
+            (Obs.Event.Accept_sent
+               {
+                 b = trace_ballot t.dur.prom_rnd;
+                 start_idx = from;
+                 count;
+               });
+        t.send ~dst:f
+          (Accept
+             {
+               n = t.dur.prom_rnd;
+               start_idx = from;
+               entries = Log.sub t.dur.log ~pos:from ~len:count;
+               decided_idx = t.dur.decided_idx;
+             });
+        Hashtbl.replace t.sent_idx f (from + count)
+      end)
+    t.synced;
+  if b.Batching.adaptive then begin
+    if !max_lag >= t.batch_cap then
+      t.batch_cap <- min b.Batching.max_batch (2 * t.batch_cap)
+    else if 2 * !max_lag <= t.batch_cap then
+      t.batch_cap <- max b.Batching.min_batch (t.batch_cap / 2)
+  end;
+  t.unflushed <- 0;
+  t.ticks_since_flush <- 0;
+  if t.quorum = 1 then try_decide t
+
+(* Follower half of ack coalescing: a deferred Accepted is swept out on the
+   next tick, bounding the extra decide latency by one tick period. *)
+let flush_acks t =
+  if t.ack_pending then begin
+    t.ack_pending <- false;
+    if
+      role_is_follower t.role
+      && Ballot.equal t.dur.prom_rnd t.dur.acc_rnd
+      && t.dur.prom_rnd.Ballot.pid <> t.id
+    then begin
+      let len = Log.length t.dur.log in
+      t.acked_idx <- len;
+      t.send ~dst:t.dur.prom_rnd.Ballot.pid
+        (Accepted { n = t.dur.prom_rnd; log_idx = len })
+    end
+  end
+
 let propose t entry =
   match t.role with
   | Follower -> false
@@ -538,38 +642,22 @@ let propose t entry =
       if Option.is_some t.ss_idx then false
       else begin
         append_entry t entry;
+        t.unflushed <- t.unflushed + 1;
+        (* Size trigger: under the adaptive policy a burst is flushed as
+           soon as it fills the current batch cap, without waiting for the
+           tick deadline. *)
+        if t.batching.Batching.adaptive && t.unflushed >= t.batch_cap then
+          do_flush t;
         true
       end
 
 let flush t =
   if role_is_leader_accept t.role then begin
-    let len = Log.length t.dur.log in
-    Replog.Det.iter_sorted ~compare_key:Int.compare
-      (fun f () ->
-        let from = Option.value (Hashtbl.find_opt t.sent_idx f) ~default:len in
-        if from < len then begin
-          let count = min max_batch (len - from) in
-          if Obs.Trace.on () then
-            Obs.Trace.emit ~node:t.id
-              (Obs.Event.Accept_sent
-                 {
-                   b = trace_ballot t.dur.prom_rnd;
-                   start_idx = from;
-                   count;
-                 });
-          t.send ~dst:f
-            (Accept
-               {
-                 n = t.dur.prom_rnd;
-                 start_idx = from;
-                 entries = Log.sub t.dur.log ~pos:from ~len:count;
-                 decided_idx = t.dur.decided_idx;
-               });
-          Hashtbl.replace t.sent_idx f (from + count)
-        end)
-      t.synced;
-    if t.quorum = 1 then try_decide t
+    t.ticks_since_flush <- t.ticks_since_flush + 1;
+    if t.ticks_since_flush >= t.batching.Batching.deadline_ticks then
+      do_flush t
   end
+  else flush_acks t
 
 let recover t =
   t.role <- Follower;

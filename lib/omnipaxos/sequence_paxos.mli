@@ -66,6 +66,7 @@ val create :
   id:int ->
   peers:int list ->
   persistent:persistent ->
+  ?batching:Batching.config ->
   send:(dst:int -> msg -> unit) ->
   ?on_decide:(int -> unit) ->
   ?snapshotter:(unit -> string) ->
@@ -73,6 +74,8 @@ val create :
   unit ->
   t
 (** [on_decide] fires with the new decided index every time it advances.
+    [batching] selects the batch-flush policy (default {!Batching.fixed},
+    the historical flush-on-every-tick behaviour; see [batching.mli]).
     [snapshotter] supplies an opaque state-machine snapshot covering the
     trimmed prefix, used to repair followers that fell below the trim point
     (e.g. after losing their storage); [on_snapshot idx payload] fires at
@@ -90,9 +93,12 @@ val propose : t -> Entry.t -> bool
     retry elsewhere. During the Prepare phase proposals are buffered. *)
 
 val flush : t -> unit
-(** Emit one batched [Accept] per promised follower with the entries
-    proposed since the previous flush. Call periodically (e.g. every tick)
-    or after each burst of proposals. *)
+(** The per-tick driver hook. On a leader, runs the batching policy's
+    deadline path: emit one batched [Accept] per promised follower with the
+    entries proposed since its previous batch (under the adaptive policy,
+    bursts may already have been flushed early by the size trigger, and the
+    per-Accept cap adapts to the backlog). On a follower, sweeps out a
+    deferred coalesced [Accepted] acknowledgement. Call once per tick. *)
 
 val request_trim : t -> upto:int -> bool
 (** Leader-side log compaction: discard the decided prefix below [upto] on
@@ -130,6 +136,13 @@ val is_stopped : t -> bool
 
 val stop_sign : t -> Entry.stop_sign option
 (** The stop-sign, once it is decided. *)
+
+val batching : t -> Batching.config
+(** The (validated) batch-flush policy this instance runs. *)
+
+val batch_cap : t -> int
+(** The current adaptive per-[Accept] entry cap (constant [max_batch] under
+    the fixed policy). Exposed for tests and benchmark reports. *)
 
 val msg_size : msg -> int
 (** Serialised size estimate in bytes, for IO accounting. *)

@@ -67,11 +67,14 @@ type t = {
   mutable tick_count : int;
   last_resp : (int, int) Hashtbl.t;  (* peer -> tick of last AppendResp *)
   last_send : (int, int) Hashtbl.t;  (* peer -> tick of last AppendEntries *)
+  (* Batching knobs, mirroring Omni-Paxos' [Batching.config] so the Fig 7/8
+     comparisons stay apples-to-apples. [max_batch] caps entries per
+     AppendEntries (large catch-ups stream as a pipeline of batches);
+     [eager_batch > 0] flushes a proposal burst as soon as that many
+     entries are pending for some peer instead of waiting for the tick. *)
+  max_batch : int;
+  eager_batch : int;
 }
-
-(* Cap on entries per AppendEntries, as real implementations bound their
-   message size; large catch-ups stream as a pipeline of batches. *)
-let max_batch = 4096
 
 let fresh_persistent () = { term = 0; voted_for = None; log = Log.create () }
 
@@ -84,7 +87,8 @@ let reset_timeout t =
    answers the leader but never campaigns or votes until a committed Config
    entry promotes it. *)
 let create ~id ~voters ?(pre_vote = false) ?(check_quorum = false)
-    ~election_ticks ~rand ~persistent ~send ?(on_commit = fun _ -> ()) () =
+    ?(max_batch = 4096) ?(eager_batch = 0) ~election_ticks ~rand ~persistent
+    ~send ?(on_commit = fun _ -> ()) () =
   let t =
     {
       id;
@@ -115,6 +119,8 @@ let create ~id ~voters ?(pre_vote = false) ?(check_quorum = false)
       tick_count = 0;
       last_resp = Hashtbl.create 8;
       last_send = Hashtbl.create 8;
+      max_batch = max 1 max_batch;
+      eager_batch;
     }
   in
   reset_timeout t;
@@ -188,7 +194,7 @@ let send_append t ~dst ~from =
   let log = t.dur.log in
   let prev_idx = from - 1 in
   let prev_term = if prev_idx >= 0 then (Log.get log prev_idx).term else 0 in
-  let count = min max_batch (Log.length log - from) in
+  let count = min t.max_batch (Log.length log - from) in
   t.send ~dst
     (Append_entries
        {
@@ -449,6 +455,19 @@ let propose t cmd =
   if role_is_leader t.role then begin
     Log.append t.dur.log { term = t.dur.term; data = Cmd cmd };
     if quorum t = 1 then try_commit t;
+    (* Eager size-triggered flush (adaptive batching, mirrored from
+       Omni-Paxos): once a burst fills [eager_batch] for some peer, ship it
+       now instead of on the next tick. *)
+    if t.eager_batch > 0 then begin
+      let len = Log.length t.dur.log in
+      List.iter
+        (fun p ->
+          let sent =
+            Option.value (Hashtbl.find_opt t.sent_idx p) ~default:len
+          in
+          if len - sent >= t.eager_batch then send_append t ~dst:p ~from:sent)
+        (replication_targets t)
+    end;
     true
   end
   else false

@@ -64,6 +64,8 @@ val create :
   voters:int list ->
   ?pre_vote:bool ->
   ?check_quorum:bool ->
+  ?max_batch:int ->
+  ?eager_batch:int ->
   election_ticks:int ->
   rand:Random.State.t ->
   persistent:persistent ->
@@ -71,7 +73,11 @@ val create :
   ?on_commit:(int -> unit) ->
   unit ->
   t
-(** [voters] must include [id]. *)
+(** [voters] must include [id]. [max_batch] (default 4096) caps entries per
+    AppendEntries; [eager_batch] (default 0 = off) flushes a proposal burst
+    as soon as that many entries are pending for a peer, instead of on the
+    next tick — the Raft mirror of the Omni-Paxos adaptive batching knob,
+    keeping the throughput comparisons apples-to-apples. *)
 
 val handle : t -> src:int -> msg -> unit
 val tick : t -> unit

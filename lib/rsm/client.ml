@@ -26,6 +26,12 @@ type t = {
   mutable last_leader : int option;
   mutable leader_changes : int;
   mutable running : bool;
+  (* Client-visible command latency: submission times of in-flight commands
+     in FIFO order. Commands decide in submission order under the closed
+     loop, so each decide pops the oldest submission; abandoned commands are
+     dropped without a sample. *)
+  submits : float Queue.t;
+  mutable latency : Obs.Metric.Histogram.t;
 }
 
 let poll c =
@@ -35,7 +41,10 @@ let poll c =
   if newly > 0 then begin
     c.last_decided <- decided;
     c.in_flight <- max 0 (c.in_flight - newly);
-    c.last_progress <- time
+    c.last_progress <- time;
+    for _ = 1 to min newly (Queue.length c.submits) do
+      Obs.Metric.Histogram.observe c.latency (time -. Queue.pop c.submits)
+    done
   end;
   Metrics.Series.push c.series ~time ~count:decided;
   (* Count a leader change whenever a leader emerges that differs from the
@@ -49,7 +58,8 @@ let poll c =
   | Some _, Some _ | None, _ -> ());
   if c.in_flight > 0 && time -. c.last_progress > c.retry_ms then begin
     c.in_flight <- 0;
-    c.last_progress <- time
+    c.last_progress <- time;
+    Queue.clear c.submits
   end;
   if c.in_flight < c.cp then begin
     match lead with
@@ -60,7 +70,10 @@ let poll c =
           c.cb.propose_batch ~leader ~first_id:c.next_id ~count:want
         in
         c.next_id <- c.next_id + got;
-        c.in_flight <- c.in_flight + got
+        c.in_flight <- c.in_flight + got;
+        for _ = 1 to got do
+          Queue.push time c.submits
+        done
   end
 
 let start ?(retry_ms = 200.0) ~poll_ms ~cp cb =
@@ -78,6 +91,8 @@ let start ?(retry_ms = 200.0) ~poll_ms ~cp cb =
       last_leader = None;
       leader_changes = 0;
       running = true;
+      submits = Queue.create ();
+      latency = Obs.Metric.Histogram.create ();
     }
   in
   let rec loop () =
@@ -94,6 +109,8 @@ let stop c = c.running <- false
 let series c = c.series
 let leader_changes c = c.leader_changes
 let decided c = c.last_decided
+let latency c = c.latency
+let reset_latency c = c.latency <- Obs.Metric.Histogram.create ()
 
 (* ------------------------------------------------------------------ *)
 (* Client-visible histories (the chaos campaign's linearizability       *)

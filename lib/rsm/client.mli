@@ -27,6 +27,14 @@ val series : t -> Metrics.Series.t
 val leader_changes : t -> int
 val decided : t -> int
 
+val latency : t -> Obs.Metric.Histogram.t
+(** Client-visible command latency (ms, simulated time), submission to
+    decide, sampled at poll granularity. Commands abandoned by the retry
+    path contribute no sample. *)
+
+val reset_latency : t -> unit
+(** Discard latency samples collected so far (e.g. after warmup). *)
+
 (** Client-visible operation histories: the raw material of the chaos
     campaign's linearizability check (see [lib/chaos]). Every operation is
     recorded as an invocation, later matched by a response (with the result

@@ -12,6 +12,8 @@ type config = {
   latency_ms : float;  (** one-way link delay *)
   egress_bw : float;  (** per-node egress, bytes/ms; [infinity] = unlimited *)
   seed : int;
+  batching : Omnipaxos.Batching.config;
+      (** hot-path flush policy, threaded to every node *)
 }
 
 let default_config =
@@ -22,6 +24,7 @@ let default_config =
     latency_ms = 0.1;
     egress_bw = infinity;
     seed = 42;
+    batching = Omnipaxos.Batching.fixed;
   }
 
 module Make (P : Protocol.PROTOCOL) = struct
@@ -47,7 +50,8 @@ module Make (P : Protocol.PROTOCOL) = struct
     let make_node id =
       let peers = List.filter (fun j -> j <> id) (all_ids cfg.n) in
       let send ~dst m = Net.send net ~src:id ~dst ~size:(P.msg_size m) m in
-      P.create ~id ~peers ~election_ticks ~rand:(Net.rng net) ~send ()
+      P.create ~batching:cfg.batching ~id ~peers ~election_ticks
+        ~rand:(Net.rng net) ~send ()
     in
     let nodes = Array.init cfg.n make_node in
     let install_handlers id node =

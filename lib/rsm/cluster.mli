@@ -9,11 +9,14 @@ type config = {
   latency_ms : float;  (** one-way link delay *)
   egress_bw : float;  (** per-node egress, bytes/ms; [infinity] = unlimited *)
   seed : int;
+  batching : Omnipaxos.Batching.config;
+      (** hot-path flush policy, threaded to every node *)
 }
 
 val default_config : config
 (** 3 servers, 5 ms ticks, 50 ms election timeout, 0.1 ms latency (the
-    paper's LAN RTT of 0.2 ms), unlimited bandwidth, seed 42. *)
+    paper's LAN RTT of 0.2 ms), unlimited bandwidth, seed 42, fixed
+    batching. *)
 
 module Make (P : Protocol.PROTOCOL) : sig
   type t

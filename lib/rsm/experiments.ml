@@ -63,6 +63,28 @@ type chained_point = {
   ch_leader_changes : float;
 }
 
+(* One fully-instrumented normal-execution run: rate plus the client-visible
+   latency distribution and the network-level message/byte volume. *)
+type run_sample = {
+  rs_rate : float;  (** decided requests per second *)
+  rs_p50_ms : float;
+  rs_p99_ms : float;
+  rs_io_bytes : int;  (** total bytes sent across the cluster *)
+  rs_msgs : int;  (** messages delivered across the cluster *)
+}
+
+type policy_point = {
+  bp_protocol : string;
+  bp_policy : string;  (** {!Omnipaxos.Batching.name} of the config *)
+  bp_cp : int;
+  bp_rate_mean : float;
+  bp_rate_ci : float;
+  bp_p50_ms : float;  (** mean across seeds *)
+  bp_p99_ms : float;
+  bp_io_bytes : int;  (** mean across seeds *)
+  bp_msgs : int;
+}
+
 module Run (P : Protocol.PROTOCOL) = struct
   module C = Cluster.Make (P)
 
@@ -90,6 +112,32 @@ module Run (P : Protocol.PROTOCOL) = struct
         ~until:(warmup_ms +. duration_ms)
     in
     (float_of_int decided /. (duration_ms /. 1000.0), total_io c)
+
+  (* Like [throughput], but also reports the client-visible latency
+     percentiles (warmup samples discarded) and the message volume. *)
+  let throughput_sample cfg ~wan ~cp ~warmup_ms ~duration_ms =
+    let c = C.create cfg in
+    if wan then apply_wan_latencies (C.net c) ~n:cfg.Cluster.n;
+    let client =
+      C.start_client ~retry_ms:(20.0 *. cfg.Cluster.election_timeout_ms) c ~cp
+    in
+    Net.schedule (C.net c) ~delay:warmup_ms (fun () ->
+        Client.reset_latency client);
+    C.run_ms c (warmup_ms +. duration_ms);
+    Client.stop client;
+    let series = Client.series client in
+    let decided =
+      Metrics.Series.total_between series ~from:warmup_ms
+        ~until:(warmup_ms +. duration_ms)
+    in
+    let lat = Client.latency client in
+    {
+      rs_rate = float_of_int decided /. (duration_ms /. 1000.0);
+      rs_p50_ms = Obs.Metric.Histogram.percentile lat ~p:50.0;
+      rs_p99_ms = Obs.Metric.Histogram.percentile lat ~p:99.0;
+      rs_io_bytes = total_io c;
+      rs_msgs = Net.messages_delivered (C.net c);
+    }
 
   (* One partial-connectivity run; returns (down-time ms, decided during the
      partition, leader changes). *)
@@ -177,6 +225,13 @@ type proto_runner = {
     partition_ms:float ->
     cp:int ->
     float * int * int;
+  pr_sample :
+    Cluster.config ->
+    wan:bool ->
+    cp:int ->
+    warmup_ms:float ->
+    duration_ms:float ->
+    run_sample;
 }
 
 let omni_runner =
@@ -184,6 +239,7 @@ let omni_runner =
     pr_name = Omni_adapter.name;
     pr_throughput = Omni_run.throughput;
     pr_partition = Omni_run.partition;
+    pr_sample = Omni_run.throughput_sample;
   }
 
 let raft_runner =
@@ -191,6 +247,7 @@ let raft_runner =
     pr_name = Raft_adapter.Plain.name;
     pr_throughput = Raft_run.throughput;
     pr_partition = Raft_run.partition;
+    pr_sample = Raft_run.throughput_sample;
   }
 
 let raft_pvcq_runner =
@@ -198,6 +255,7 @@ let raft_pvcq_runner =
     pr_name = Raft_adapter.Pv_cq.name;
     pr_throughput = Raft_pvcq_run.throughput;
     pr_partition = Raft_pvcq_run.partition;
+    pr_sample = Raft_pvcq_run.throughput_sample;
   }
 
 let multipaxos_runner =
@@ -205,6 +263,7 @@ let multipaxos_runner =
     pr_name = Multipaxos_adapter.name;
     pr_throughput = Multipaxos_run.throughput;
     pr_partition = Multipaxos_run.partition;
+    pr_sample = Multipaxos_run.throughput_sample;
   }
 
 let vr_runner =
@@ -212,6 +271,7 @@ let vr_runner =
     pr_name = Vr_adapter.name;
     pr_throughput = Vr_run.throughput;
     pr_partition = Vr_run.partition;
+    pr_sample = Vr_run.throughput_sample;
   }
 
 let all_protocols =
@@ -494,6 +554,7 @@ let no_qc_runner =
     pr_name = Omni_adapter.No_qc_signal.name;
     pr_throughput = No_qc_run.throughput;
     pr_partition = No_qc_run.partition;
+    pr_sample = No_qc_run.throughput_sample;
   }
 
 let conn_prio_runner =
@@ -501,6 +562,7 @@ let conn_prio_runner =
     pr_name = Omni_adapter.Connectivity_priority.name;
     pr_throughput = Conn_prio_run.throughput;
     pr_partition = Conn_prio_run.partition;
+    pr_sample = Conn_prio_run.throughput_sample;
   }
 
 (** Ablation: the QC flag in heartbeats. Without it the quorum-loss
@@ -511,12 +573,64 @@ let ablation_qc_signal ?(seeds = [ 1; 2 ]) ?(timeout_ms = 50.0)
     ~protocols:[ omni_runner; no_qc_runner ]
     ~seeds ~timeouts_ms:[ timeout_ms ] ~partition_ms ~cp ~kind:Quorum_loss ()
 
+(** Fixed vs adaptive flush policy across the protocol set, Figure-7-style
+    LAN setup (same seeds for both policies, so rows are directly
+    comparable). Under load the adaptive policy's size-triggered flush cuts
+    the replication latency from O(tick) to O(RTT), which with a closed
+    loop lifts throughput; ack coalescing trades a little decide latency
+    for fewer follower->leader messages. *)
+let batching_comparison
+    ?(protocols = [ omni_runner; raft_runner; multipaxos_runner; vr_runner ])
+    ?(policies = [ Omnipaxos.Batching.fixed; Omnipaxos.Batching.adaptive ])
+    ?(seeds = [ 1; 2; 3 ]) ?(cp = 5000) ?(warmup_ms = 1000.0)
+    ?(duration_ms = 3000.0) ?(egress_bw = 20_000.0) () =
+  List.concat_map
+    (fun pr ->
+      List.map
+        (fun policy ->
+          let samples =
+            List.map
+              (fun seed ->
+                let cfg =
+                  {
+                    Cluster.default_config with
+                    n = 3;
+                    seed;
+                    egress_bw;
+                    batching = policy;
+                  }
+                in
+                pr.pr_sample cfg ~wan:false ~cp ~warmup_ms ~duration_ms)
+              seeds
+          in
+          let mean_of f = Metrics.Stats.mean (List.map f samples) in
+          let rate_mean, rate_ci =
+            Metrics.Stats.mean_ci (List.map (fun s -> s.rs_rate) samples)
+          in
+          {
+            bp_protocol = pr.pr_name;
+            bp_policy = Omnipaxos.Batching.name policy;
+            bp_cp = cp;
+            bp_rate_mean = rate_mean;
+            bp_rate_ci = rate_ci;
+            bp_p50_ms = mean_of (fun s -> s.rs_p50_ms);
+            bp_p99_ms = mean_of (fun s -> s.rs_p99_ms);
+            bp_io_bytes =
+              int_of_float
+                (mean_of (fun s -> float_of_int s.rs_io_bytes));
+            bp_msgs =
+              int_of_float (mean_of (fun s -> float_of_int s.rs_msgs));
+          })
+        policies)
+    protocols
+
 (** Ablation: the leader's batch-flush cadence (the driver tick). Larger
     batches amortise headers but add decide latency; with a fixed number of
     concurrent proposals the latency bounds throughput. Returns
     (tick_ms, decided/s, approx latency ms) rows. *)
-let ablation_batching ?(ticks_ms = [ 1.0; 5.0; 20.0 ]) ?(cp = 5000)
-    ?(seed = 1) ?(duration_ms = 3000.0) () =
+let ablation_batching ?(batching = Omnipaxos.Batching.fixed)
+    ?(ticks_ms = [ 1.0; 5.0; 20.0 ]) ?(cp = 5000) ?(seed = 1)
+    ?(duration_ms = 3000.0) () =
   List.map
     (fun tick_ms ->
       let cfg =
@@ -527,6 +641,7 @@ let ablation_batching ?(ticks_ms = [ 1.0; 5.0; 20.0 ]) ?(cp = 5000)
           tick_ms;
           egress_bw = 10_000.0;
           election_timeout_ms = Float.max 50.0 (10.0 *. tick_ms);
+          batching;
         }
       in
       let rate, _ =

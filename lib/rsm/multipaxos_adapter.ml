@@ -23,7 +23,8 @@ let scan t upto =
   done;
   t.scanned <- upto
 
-let create ~id ~peers ~election_ticks ~rand ~send () =
+let create ?(batching = Omnipaxos.Batching.fixed) ~id ~peers ~election_ticks
+    ~rand ~send () =
   let cache = Protocol.Decided_cache.create () in
   let t_ref = ref None in
   let on_decide upto =
@@ -35,7 +36,17 @@ let create ~id ~peers ~election_ticks ~rand ~send () =
           ~decided_idx:upto
     | None -> ()
   in
-  let node = N.create ~id ~peers ~election_ticks ~rand ~send ~on_decide () in
+  (* Same translation as the Raft adapter: cap P2a batches at [max_batch],
+     and under the adaptive policy flush eagerly at [min_batch] pending. *)
+  let b = Omnipaxos.Batching.validated batching in
+  let eager_batch =
+    if b.Omnipaxos.Batching.adaptive then b.Omnipaxos.Batching.min_batch else 0
+  in
+  let node =
+    N.create ~id ~peers ~election_ticks ~rand
+      ~max_batch:b.Omnipaxos.Batching.max_batch ~eager_batch ~send ~on_decide
+      ()
+  in
   let t =
     { id; node; cache; obs = Protocol.Obs_hooks.create (); scanned = 0 }
   in

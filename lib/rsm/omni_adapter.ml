@@ -33,8 +33,8 @@ let scan t upto =
      an early (lower) announcement rewind the scan and duplicate ids. *)
   t.scanned <- max t.scanned upto
 
-let make ?qc_signal ?connectivity_priority ~id ~peers ~election_ticks ~rand
-    ~send () =
+let make ?qc_signal ?connectivity_priority ?batching ~id ~peers
+    ~election_ticks ~rand ~send () =
   ignore rand;
   let cache = Protocol.Decided_cache.create () in
   let storage = R.Storage.create () in
@@ -44,14 +44,14 @@ let make ?qc_signal ?connectivity_priority ~id ~peers ~election_ticks ~rand
   in
   let build () =
     R.create ~id ~peers ?qc_signal ?connectivity_priority
-      ~hb_ticks:election_ticks ~storage ~send ~on_decide ()
+      ~hb_ticks:election_ticks ?batching ~storage ~send ~on_decide ()
   in
   let t = { replica = build (); cache; scanned = 0; build } in
   t_ref := Some t;
   t
 
-let create ~id ~peers ~election_ticks ~rand ~send () =
-  make ~id ~peers ~election_ticks ~rand ~send ()
+let create ?batching ~id ~peers ~election_ticks ~rand ~send () =
+  make ?batching ~id ~peers ~election_ticks ~rand ~send ()
 
 let handle t ~src msg = R.handle t.replica ~src msg
 let tick t = R.tick t.replica
@@ -80,8 +80,8 @@ module No_qc_signal = struct
 
   let name = "Omni (no QC flag)"
 
-  let create ~id ~peers ~election_ticks ~rand ~send () =
-    make ~qc_signal:false ~id ~peers ~election_ticks ~rand ~send ()
+  let create ?batching ~id ~peers ~election_ticks ~rand ~send () =
+    make ~qc_signal:false ?batching ~id ~peers ~election_ticks ~rand ~send ()
 
   let handle = handle
   let tick = tick
@@ -103,8 +103,9 @@ module Connectivity_priority = struct
 
   let name = "Omni (conn-prio)"
 
-  let create ~id ~peers ~election_ticks ~rand ~send () =
-    make ~connectivity_priority:true ~id ~peers ~election_ticks ~rand ~send ()
+  let create ?batching ~id ~peers ~election_ticks ~rand ~send () =
+    make ~connectivity_priority:true ?batching ~id ~peers ~election_ticks ~rand
+      ~send ()
 
   let handle = handle
   let tick = tick

@@ -8,6 +8,7 @@ module type PROTOCOL = sig
   val name : string
 
   val create :
+    ?batching:Omnipaxos.Batching.config ->
     id:int ->
     peers:int list ->
     election_ticks:int ->
@@ -17,7 +18,14 @@ module type PROTOCOL = sig
     t
   (** [election_ticks] is the election timeout expressed in driver ticks;
       protocols derive their internal timers (heartbeat cadence, randomized
-      timeouts, view-change timers) from it. *)
+      timeouts, view-change timers) from it.
+
+      [batching] (default {!Omnipaxos.Batching.fixed}) selects the hot-path
+      flush policy. Omni-Paxos variants and VR apply it to Sequence Paxos
+      directly; Raft and Multi-Paxos translate it to their own knobs
+      ([max_batch] caps entries per replication message, and an adaptive
+      config enables a size-triggered eager flush at [min_batch] pending
+      entries), so Figure 7/8 comparisons stay apples-to-apples. *)
 
   val handle : t -> src:int -> msg -> unit
   val tick : t -> unit

@@ -28,7 +28,8 @@ let scan t upto =
     t.scanned <- upto
   end
 
-let make ~pre_vote ~check_quorum ~id ~peers ~election_ticks ~rand ~send () =
+let make ~pre_vote ~check_quorum ?(batching = Omnipaxos.Batching.fixed) ~id
+    ~peers ~election_ticks ~rand ~send () =
   let cache = Protocol.Decided_cache.create () in
   let t_ref = ref None in
   let on_commit idx =
@@ -40,8 +41,16 @@ let make ~pre_vote ~check_quorum ~id ~peers ~election_ticks ~rand ~send () =
           ~decided_idx:idx
     | None -> ()
   in
+  (* Translate the shared batching knob: [max_batch] caps AppendEntries
+     batches, and an adaptive config turns on the eager size-triggered flush
+     at the same threshold Omni-Paxos starts from ([min_batch]). *)
+  let b = Omnipaxos.Batching.validated batching in
+  let eager_batch =
+    if b.Omnipaxos.Batching.adaptive then b.Omnipaxos.Batching.min_batch else 0
+  in
   let node =
-    N.create ~id ~voters:(id :: peers) ~pre_vote ~check_quorum ~election_ticks
+    N.create ~id ~voters:(id :: peers) ~pre_vote ~check_quorum
+      ~max_batch:b.Omnipaxos.Batching.max_batch ~eager_batch ~election_ticks
       ~rand ~persistent:(N.fresh_persistent ()) ~send ~on_commit ()
   in
   let t =

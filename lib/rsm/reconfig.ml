@@ -175,7 +175,8 @@ module Omni = struct
     let replica = ref None in
     let on_decide _ = on_replica_decide t s ~cfg (Option.get !replica) in
     let r =
-      R.create ~id:s.id ~peers ~hb_ticks:(election_ticks t) ~storage
+      R.create ~id:s.id ~peers ~hb_ticks:(election_ticks t)
+        ~batching:t.p.net_cfg.Cluster.batching ~storage
         ~send:(fun ~dst m -> send_wire t s.id dst (Rep { cfg; m }))
         ~on_decide ()
     in

@@ -29,12 +29,14 @@ let scan t upto =
     entries;
   t.scanned <- upto
 
-let create ~id ~peers ~election_ticks ~rand ~send () =
+let create ?batching ~id ~peers ~election_ticks ~rand ~send () =
   ignore rand;
   let cache = Protocol.Decided_cache.create () in
   let t_ref = ref None in
   let on_decide upto = match !t_ref with Some t -> scan t upto | None -> () in
-  let node = N.create ~id ~peers ~election_ticks ~send ~on_decide () in
+  let node =
+    N.create ~id ~peers ~election_ticks ?batching ~send ~on_decide ()
+  in
   let t =
     { id; node; cache; obs = Protocol.Obs_hooks.create (); scanned = 0 }
   in

@@ -40,9 +40,9 @@ let leader_of t view = view mod t.n_total
 let ballot_of t view =
   { Omnipaxos.Ballot.n = view + 1; priority = 0; pid = leader_of t view }
 
-let create ~id ~peers ~election_ticks ~send ?on_decide () =
+let create ~id ~peers ~election_ticks ?batching ~send ?on_decide () =
   let sp =
-    Sp.create ~id ~peers ~persistent:(Sp.fresh_persistent ())
+    Sp.create ~id ~peers ~persistent:(Sp.fresh_persistent ()) ?batching
       ~send:(fun ~dst m -> send ~dst (Sp m))
       ?on_decide ()
   in

@@ -28,10 +28,13 @@ val create :
   id:int ->
   peers:int list ->
   election_ticks:int ->
+  ?batching:Omnipaxos.Batching.config ->
   send:(dst:int -> msg -> unit) ->
   ?on_decide:(int -> unit) ->
   unit ->
   t
+(** [batching] selects the flush policy of the inner Sequence Paxos
+    instance (default {!Omnipaxos.Batching.fixed}). *)
 
 val handle : t -> src:int -> msg -> unit
 val tick : t -> unit

@@ -1,0 +1,179 @@
+(* Unit tests for the bench report pipeline (lib/bench_report): the
+   deterministic JSON printer/parser round-trip, the report envelope, and
+   the suffix-driven tolerance gate of the comparator. *)
+
+module Json = Bench_report.Json
+module Report = Bench_report.Report
+module Compare = Bench_report.Compare
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* ---------------- printer / parser ---------------- *)
+
+let sample =
+  Json.Obj
+    [
+      ("schema_version", Json.Int 1);
+      ("section", Json.String "table1");
+      ("ok", Json.Bool true);
+      ("nothing", Json.Null);
+      ( "rows",
+        Json.List
+          [
+            Json.Obj
+              [
+                ("mean_rate", Json.float 302400.0);
+                ("p99_ms", Json.float 6.53125);
+                ("io_bytes", Json.Int 123456);
+                ("label", Json.String "omni \"quoted\"\n\ttail");
+              ];
+            Json.List [ Json.Int (-3); Json.float 0.0; Json.float 1e-9 ];
+          ] );
+    ]
+
+let test_roundtrip () =
+  let s = Json.to_string sample in
+  match Json.of_string s with
+  | Error e -> Alcotest.failf "parse error: %s" e
+  | Ok back ->
+      check "round-trips structurally" true (Json.equal sample back);
+      check_str "re-rendering is byte-stable" s (Json.to_string back)
+
+let test_nonfinite_is_null () =
+  check "nan collapses to null" true (Json.equal (Json.float Float.nan) Json.Null);
+  check "inf collapses to null" true
+    (Json.equal (Json.float Float.infinity) Json.Null)
+
+let test_integral_float_keeps_point () =
+  (* 302400.0 must not print as the integer 302400, or a later run that
+     produces 302400.5 would flip the leaf's type. *)
+  let s = Json.to_string (Json.float 302400.0) in
+  check "integral float keeps a decimal point" true
+    (String.length s >= 2 && String.contains s '.')
+
+let test_parser_rejects_garbage () =
+  let bad = [ "{"; "[1,]"; "{\"a\" 1}"; "tru"; "\"unterminated"; "" ] in
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Ok _ -> Alcotest.failf "accepted malformed input %S" s
+      | Error _ -> ())
+    bad
+
+let test_member () =
+  check "member finds a field" true
+    (Json.member "section" sample = Some (Json.String "table1"));
+  check "member misses politely" true (Json.member "nope" sample = None)
+
+let test_envelope () =
+  let e =
+    Report.envelope ~section:"fig8a" ~seeds:[ 1; 2 ] ~quick:true
+      ~rows:(Json.List [])
+  in
+  check "envelope carries the section" true
+    (Json.member "section" e = Some (Json.String "fig8a"));
+  check "envelope is versioned" true
+    (Json.member "schema_version" e = Some (Json.Int Report.schema_version));
+  check_str "file name" "BENCH_fig8a.json" (Report.file_name ~section:"fig8a")
+
+(* ---------------- tolerance gate ---------------- *)
+
+let diffs ~baseline ~current =
+  Compare.diff_values ~path:"$" ~baseline ~current
+
+let metric name v = Json.Obj [ (name, Json.float v) ]
+
+let test_exact_fields_gate () =
+  check_int "identical trees produce no diff" 0
+    (List.length (diffs ~baseline:sample ~current:sample));
+  (* [n] has no metric suffix: any change is a failure. *)
+  check "config echo drift fails" true
+    (diffs
+       ~baseline:(Json.Obj [ ("n", Json.Int 3) ])
+       ~current:(Json.Obj [ ("n", Json.Int 5) ])
+     <> [])
+
+let test_rate_tolerance () =
+  (* _rate: 30% relative. 10% drift passes, 50% drift fails. *)
+  check_int "10%% rate drift passes" 0
+    (List.length
+       (diffs ~baseline:(metric "mean_rate" 1000.0)
+          ~current:(metric "mean_rate" 1100.0)));
+  check "50%% rate drift fails" true
+    (diffs ~baseline:(metric "mean_rate" 1000.0)
+       ~current:(metric "mean_rate" 1500.0)
+     <> [])
+
+let test_abs_floor () =
+  (* Near-zero baselines fall back to the absolute floor (10.0 for _ms):
+     0 -> 8 ms passes, 0 -> 50 ms fails. *)
+  check_int "within the absolute floor" 0
+    (List.length
+       (diffs ~baseline:(metric "p99_ms" 0.0) ~current:(metric "p99_ms" 8.0)));
+  check "beyond the absolute floor" true
+    (diffs ~baseline:(metric "p99_ms" 0.0) ~current:(metric "p99_ms" 50.0) <> [])
+
+let test_ci_ignored () =
+  check_int "_ci fields gate nothing" 0
+    (List.length
+       (diffs ~baseline:(metric "rate_ci" 3.0)
+          ~current:(metric "rate_ci" 40000.0)))
+
+let test_structure_changes_fail () =
+  let base = Json.Obj [ ("a", Json.Int 1); ("b", Json.Int 2) ] in
+  check "missing field fails" true
+    (diffs ~baseline:base ~current:(Json.Obj [ ("a", Json.Int 1) ]) <> []);
+  check "reordered fields fail" true
+    (diffs ~baseline:base
+       ~current:(Json.Obj [ ("b", Json.Int 2); ("a", Json.Int 1) ])
+     <> []);
+  check "array length change fails" true
+    (diffs
+       ~baseline:(Json.List [ Json.Int 1 ])
+       ~current:(Json.List [ Json.Int 1; Json.Int 2 ])
+     <> [])
+
+let test_int_float_leaves_compare_numerically () =
+  (* A metric that happens to land on an integer in one run must still
+     compare against a float baseline (and vice versa). *)
+  check_int "Int vs Float within tolerance passes" 0
+    (List.length
+       (diffs
+          ~baseline:(Json.Obj [ ("decided_count", Json.Int 1000) ])
+          ~current:(Json.Obj [ ("decided_count", Json.float 1010.0) ])))
+
+let test_tolerance_classes () =
+  check "suffix lookup: _ci is Ignore" true
+    (Compare.tolerance_for "rate_ci" = Compare.Ignore);
+  check "suffix lookup: bare name is Exact" true
+    (Compare.tolerance_for "seeds" = Compare.Exact)
+
+let () =
+  Alcotest.run "bench_report"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "round-trip" `Quick test_roundtrip;
+          Alcotest.test_case "non-finite floats" `Quick test_nonfinite_is_null;
+          Alcotest.test_case "integral float format" `Quick
+            test_integral_float_keeps_point;
+          Alcotest.test_case "parser rejects garbage" `Quick
+            test_parser_rejects_garbage;
+          Alcotest.test_case "member" `Quick test_member;
+          Alcotest.test_case "envelope" `Quick test_envelope;
+        ] );
+      ( "gate",
+        [
+          Alcotest.test_case "exact fields" `Quick test_exact_fields_gate;
+          Alcotest.test_case "rate tolerance" `Quick test_rate_tolerance;
+          Alcotest.test_case "absolute floor" `Quick test_abs_floor;
+          Alcotest.test_case "_ci ignored" `Quick test_ci_ignored;
+          Alcotest.test_case "structure changes" `Quick
+            test_structure_changes_fail;
+          Alcotest.test_case "int/float numeric compare" `Quick
+            test_int_float_leaves_compare_numerically;
+          Alcotest.test_case "tolerance classes" `Quick test_tolerance_classes;
+        ] );
+    ]
