@@ -652,10 +652,59 @@ let run_micro ~quick ~print =
 (* Dispatch                                                            *)
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Recovery latency (health-monitor methodology)                       *)
+(* ------------------------------------------------------------------ *)
+
+let run_recovery ~quick ~print =
+  header print
+    "Recovery latency in the chained scenario (health-monitor methodology)\n\
+     (paper: Omni-Paxos re-elects and resumes deciding within ~4 election\n\
+     timeouts; see EXPERIMENTS.md for how detect/stall are measured)";
+  let seeds = [ 1 ] in
+  let timeout_ms = 50.0 in
+  let partition_ms = if quick then 2_000.0 else 4_000.0 in
+  let rows = E.recovery_latency ~seed:1 ~timeout_ms ~partition_ms () in
+  let opt = function
+    | Some v -> Printf.sprintf "%.1f" v
+    | None -> "-"
+  in
+  say print "%-14s %11s %15s %12s %10s %10s %7s %8s\n" "protocol"
+    "detect(ms)" "1st-decide(ms)" "reelect(ms)" "stall(ms)" "stall/t-o"
+    "<=4t/o" "ldr-chg";
+  List.iter
+    (fun (r : E.recovery_point) ->
+      say print "%-14s %11s %15s %12s %10.1f %10.1f %7s %8d\n" r.rl_protocol
+        (opt r.rl_detect_ms)
+        (opt r.rl_first_decide_ms)
+        (opt r.rl_reelect_ms)
+        r.rl_stall_ms r.rl_stall_timeouts
+        (if r.rl_within_4 then "yes" else "NO")
+        r.rl_leader_changes)
+    rows;
+  let jopt = function Some v -> J.float v | None -> J.Null in
+  let json_rows =
+    List.map
+      (fun (r : E.recovery_point) ->
+        J.Obj
+          [
+            ("protocol", J.String r.rl_protocol);
+            ("timeout_ms", J.float r.rl_timeout_ms);
+            ("detect_ms", jopt r.rl_detect_ms);
+            ("first_decide_ms", jopt r.rl_first_decide_ms);
+            ("reelect_ms", jopt r.rl_reelect_ms);
+            ("stall_ms", J.float r.rl_stall_ms);
+            ("within_4_timeouts", J.Bool r.rl_within_4);
+            ("leader_changes_count", J.Int r.rl_leader_changes);
+          ])
+      rows
+  in
+  envelope ~section:"recovery" ~seeds ~quick ~rows:(J.List json_rows)
+
 let all_names =
   [
     "table1"; "fig7"; "fig8a"; "fig8b"; "fig8c"; "fig9a"; "fig9b"; "fig9c";
-    "ablations"; "policy"; "micro";
+    "ablations"; "policy"; "micro"; "recovery";
   ]
 
 let run name ~quick ~print =
@@ -710,4 +759,5 @@ let run name ~quick ~print =
   | "ablations" -> Some (run_ablations ~quick ~print)
   | "policy" -> Some (run_policy ~quick ~print)
   | "micro" -> Some (run_micro ~quick ~print)
+  | "recovery" -> Some (run_recovery ~quick ~print)
   | _ -> None

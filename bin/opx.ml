@@ -30,11 +30,79 @@ let with_trace trace f =
   | None -> f ()
   | Some file -> Obs.Trace.with_jsonl ~file f
 
+(* Shared [--health] flag: run the experiment with the online liveness
+   monitor subscribed as a tracer sink, and print its alerts, partition
+   suspects and recovery episodes afterwards. *)
+let health_arg =
+  Arg.(
+    value & flag
+    & info [ "health" ]
+        ~doc:
+          "Run the online health monitor (stall watchdog, leader-churn \
+           meter, partition-suspect matrix, recovery episodes) over the \
+           run's event stream and print its findings.")
+
+let print_health h =
+  pf "\n-- health --\n";
+  let alerts = Obs.Health.alerts h in
+  if List.is_empty alerts then pf "no alerts\n"
+  else
+    List.iter
+      (fun (a : Obs.Health.alert) ->
+        pf "%12.3f  %s  %s\n" a.at
+          (match a.edge with
+          | Obs.Health.Trigger -> "TRIGGER"
+          | Obs.Health.Clear -> "CLEAR  ")
+          a.what)
+      alerts;
+  (match Obs.Health.suspects h with
+  | [] -> ()
+  | sus ->
+      pf "open partition suspects:";
+      List.iter (fun (s, d) -> pf " %d->%d" s d) sus;
+      pf "\n");
+  List.iter
+    (fun (r : Obs.Health.recovery) ->
+      let rel = function
+        | Some v -> Printf.sprintf "+%.3f ms" (v -. r.Obs.Health.fault_at)
+        | None -> "-"
+      in
+      pf "recovery: fault %s at %.3f (%d fault events): detect %s, decide %s\n"
+        r.Obs.Health.fault r.Obs.Health.fault_at r.Obs.Health.faults
+        (rel r.Obs.Health.detect_at)
+        (rel r.Obs.Health.decide_at))
+    (Obs.Health.recoveries h)
+
+let with_health ~n ~election_timeout_ms health f =
+  if not health then f ()
+  else begin
+    let h =
+      Obs.Health.create (Obs.Health.default_config ~n ~election_timeout_ms)
+    in
+    let id = Obs.Trace.subscribe (Obs.Health.observe h) in
+    let was = Obs.Trace.is_enabled () in
+    Obs.Trace.set_enabled true;
+    let finish () =
+      Obs.Trace.unsubscribe id;
+      Obs.Trace.set_enabled was
+    in
+    let v =
+      try f ()
+      with e ->
+        finish ();
+        raise e
+    in
+    finish ();
+    print_health h;
+    v
+  end
+
 (* ---------------- table1 ---------------- *)
 
 let table1_cmd =
-  let run trace seeds partition_s =
+  let run trace health seeds partition_s =
     with_trace trace @@ fun () ->
+    with_health ~n:5 ~election_timeout_ms:50.0 health @@ fun () ->
     let rows =
       E.table1 ~seeds:(List.init seeds (fun i -> i + 1))
         ~partition_ms:(float_of_int partition_s *. 1000.0) ()
@@ -58,13 +126,14 @@ let table1_cmd =
   in
   Cmd.v
     (Cmd.info "table1" ~doc:"Reproduce Table 1 (stable-progress matrix)")
-    Term.(const run $ trace_arg $ seeds $ partition_s)
+    Term.(const run $ trace_arg $ health_arg $ seeds $ partition_s)
 
 (* ---------------- normal ---------------- *)
 
 let normal_cmd =
-  let run trace wan servers cp duration_s seeds =
+  let run trace health wan servers cp duration_s seeds =
     with_trace trace @@ fun () ->
+    with_health ~n:servers ~election_timeout_ms:50.0 health @@ fun () ->
     let rows =
       E.normal_execution
         ~seeds:(List.init seeds (fun i -> i + 1))
@@ -98,7 +167,9 @@ let normal_cmd =
   in
   Cmd.v
     (Cmd.info "normal" ~doc:"Regular execution throughput (Figure 7)")
-    Term.(const run $ trace_arg $ wan $ servers $ cp $ duration_s $ seeds)
+    Term.(
+      const run $ trace_arg $ health_arg $ wan $ servers $ cp $ duration_s
+      $ seeds)
 
 (* ---------------- partition ---------------- *)
 
@@ -107,8 +178,10 @@ let scenario_conv =
     [ ("quorum-loss", E.Quorum_loss); ("constrained", E.Constrained) ]
 
 let partition_cmd =
-  let run trace kind timeout_ms partition_s seeds =
+  let run trace health kind timeout_ms partition_s seeds =
     with_trace trace @@ fun () ->
+    with_health ~n:5 ~election_timeout_ms:(float_of_int timeout_ms) health
+    @@ fun () ->
     let rows =
       E.partition_downtime
         ~seeds:(List.init seeds (fun i -> i + 1))
@@ -147,13 +220,16 @@ let partition_cmd =
   Cmd.v
     (Cmd.info "partition"
        ~doc:"Down-time under partial partitions (Figures 8a/8b)")
-    Term.(const run $ trace_arg $ kind $ timeout_ms $ partition_s $ seeds)
+    Term.(
+      const run $ trace_arg $ health_arg $ kind $ timeout_ms $ partition_s
+      $ seeds)
 
 (* ---------------- chained ---------------- *)
 
 let chained_cmd =
-  let run trace duration_s seeds =
+  let run trace health duration_s seeds =
     with_trace trace @@ fun () ->
+    with_health ~n:3 ~election_timeout_ms:50.0 health @@ fun () ->
     let rows =
       E.chained_throughput
         ~seeds:(List.init seeds (fun i -> i + 1))
@@ -179,7 +255,7 @@ let chained_cmd =
   in
   Cmd.v
     (Cmd.info "chained" ~doc:"Chained-scenario decided requests (Figure 8c)")
-    Term.(const run $ trace_arg $ duration_s $ seeds)
+    Term.(const run $ trace_arg $ health_arg $ duration_s $ seeds)
 
 (* ---------------- reconfig ---------------- *)
 
@@ -242,7 +318,57 @@ let proto_conv =
       ("vr", E.vr_runner);
     ]
 
-let trace_cmd =
+let analyze_cmd =
+  let run file json timeout_ms =
+    match
+      Obs.Analyze.of_file
+        ?health:
+          (Option.map
+             (fun ms ->
+               (* Cluster size is inferred from the trace, so the config is
+                  built with a placeholder n and resized by [of_file]. *)
+               Obs.Health.default_config ~n:0 ~election_timeout_ms:ms)
+             timeout_ms)
+        file
+    with
+    | Error e ->
+        Printf.eprintf "opx trace analyze: %s\n" e;
+        exit 2
+    | Ok r ->
+        if json then
+          print_endline (Bench_report.Json.to_string (Obs.Analyze.to_json r))
+        else print_string (Obs.Analyze.to_string r)
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"JSONL trace file (as written by --trace or opx trace --out).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the report as JSON instead of text.")
+  in
+  let timeout_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout-ms" ]
+          ~doc:
+            "Election timeout used to scale the health detectors (default \
+             50 ms: stall at 4 timeouts, churn window of 20).")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Deterministic offline analysis of a recorded JSONL trace: leader \
+          timelines, stall windows, commit-latency percentiles, causal \
+          critical paths, health alerts and invariants")
+    Term.(const run $ file $ json $ timeout_ms)
+
+let trace_run_cmd =
   let run pr out seed servers partition_s cp =
     let runs =
       E.traced_scenarios ~pr ~seed ~n:servers
@@ -271,9 +397,12 @@ let trace_cmd =
     List.iter
       (fun (tr : E.traced_run) ->
         let s = Rsm.Trace_report.summarize tr.E.tr_events in
-        pf "== %s: %s (downtime %.0f ms, decided %d) ==\n" pr.E.pr_name
+        pf "== %s: %s (downtime %.0f ms, decided %d%s) ==\n" pr.E.pr_name
           (E.scenario_name tr.E.tr_kind)
-          tr.E.tr_downtime_ms tr.E.tr_decided;
+          tr.E.tr_downtime_ms tr.E.tr_decided
+          (if tr.E.tr_dropped > 0 then
+             Printf.sprintf ", ring-dropped %d" tr.E.tr_dropped
+           else "");
         Format.printf "%a@.@." Rsm.Trace_report.pp s;
         if not (Rsm.Trace_report.passed s) then failed := true)
       runs;
@@ -305,13 +434,18 @@ let trace_cmd =
   let cp =
     Arg.(value & opt int 50 & info [ "cp" ] ~doc:"Concurrent proposals.")
   in
-  Cmd.v
+  Term.(const run $ proto $ out $ seed $ servers $ partition_s $ cp)
+
+let trace_cmd =
+  Cmd.group
+    ~default:trace_run_cmd
     (Cmd.info "trace"
        ~doc:
          "Run the three partial-connectivity scenarios with tracing on, \
           report per-kind event counts and the trace invariants (non-zero \
-          exit on a violation)")
-    Term.(const run $ proto $ out $ seed $ servers $ partition_s $ cp)
+          exit on a violation); or analyze a recorded trace file \
+          ($(b,opx trace analyze FILE))")
+    [ analyze_cmd ]
 
 (* ---------------- chaos ---------------- *)
 

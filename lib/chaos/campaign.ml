@@ -40,6 +40,7 @@ type episode = {
   ep_completed : int;
   ep_timeouts : int;
   ep_check : Checker.result;
+  ep_recoveries : Obs.Health.recovery list;
 }
 
 type failure = {
@@ -59,8 +60,15 @@ type summary = {
   s_faults : int;
   s_states : int;
   s_truncated : int;
+  s_recovery_episodes : int;
+  s_recovered : int;
+  s_recovery_sum_ms : float;
   s_failures : failure list;
 }
+
+let mean_recovery_ms s =
+  if s.s_recovered = 0 then None
+  else Some (s.s_recovery_sum_ms /. float_of_int s.s_recovered)
 
 let pp_summary ppf s =
   Format.fprintf ppf "protocol: %s@." s.s_protocol;
@@ -70,6 +78,12 @@ let pp_summary ppf s =
   Format.fprintf ppf "faults applied: %d@." s.s_faults;
   Format.fprintf ppf "checker states: %d  truncated episodes: %d@." s.s_states
     s.s_truncated;
+  Format.fprintf ppf
+    "recovery episodes: %d (recovered %d, mean fault-to-decide %s)@."
+    s.s_recovery_episodes s.s_recovered
+    (match mean_recovery_ms s with
+    | Some m -> Printf.sprintf "%.1f ms" m
+    | None -> "-");
   Format.fprintf ppf "violations: %d@." (List.length s.s_failures);
   List.iter
     (fun f ->
@@ -181,27 +195,45 @@ module Make (P : Rsm.Protocol.PROTOCOL) = struct
       }
     in
     let nst = Nemesis.initial ~n:cfg.n in
-    C.run_ms t cfg.warmup_ms;
-    let applied = ref 0 in
-    List.iteri
-      (fun step fault ->
-        if Nemesis.apply env nst ~step fault then incr applied;
-        C.run_ms t cfg.step_ms)
-      schedule;
-    Nemesis.heal env nst;
-    C.run_ms t cfg.grace_ms;
-    Array.iter Kv_client.stop clients;
-    let check = Checker.check ~max_states:cfg.max_states history in
-    {
-      ep_seed = seed;
-      ep_schedule = schedule;
-      ep_applied = !applied;
-      ep_completed =
-        Array.fold_left (fun a c -> a + Kv_client.completed c) 0 clients;
-      ep_timeouts =
-        Array.fold_left (fun a c -> a + Kv_client.timed_out c) 0 clients;
-      ep_check = check;
-    }
+    (* Per-episode recovery latency: the liveness health monitor rides the
+       event stream online, pairing each fault burst with the first
+       post-fault cluster-wide decide. The sink only observes (it emits
+       nothing and consumes no randomness), so episodes stay replayable. *)
+    let monitor =
+      Obs.Health.create
+        (Obs.Health.default_config ~n:cfg.n
+           ~election_timeout_ms:cfg.election_timeout_ms)
+    in
+    let sink = Obs.Trace.subscribe (Obs.Health.observe monitor) in
+    let was_enabled = Obs.Trace.is_enabled () in
+    Obs.Trace.set_enabled true;
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Trace.unsubscribe sink;
+        Obs.Trace.set_enabled was_enabled)
+      (fun () ->
+        C.run_ms t cfg.warmup_ms;
+        let applied = ref 0 in
+        List.iteri
+          (fun step fault ->
+            if Nemesis.apply env nst ~step fault then incr applied;
+            C.run_ms t cfg.step_ms)
+          schedule;
+        Nemesis.heal env nst;
+        C.run_ms t cfg.grace_ms;
+        Array.iter Kv_client.stop clients;
+        let check = Checker.check ~max_states:cfg.max_states history in
+        {
+          ep_seed = seed;
+          ep_schedule = schedule;
+          ep_applied = !applied;
+          ep_completed =
+            Array.fold_left (fun a c -> a + Kv_client.completed c) 0 clients;
+          ep_timeouts =
+            Array.fold_left (fun a c -> a + Kv_client.timed_out c) 0 clients;
+          ep_check = check;
+          ep_recoveries = Obs.Health.recoveries monitor;
+        })
 
   let run_episode cfg ~seed =
     run_schedule cfg ~seed ~schedule:(schedule_of_seed cfg ~seed)
@@ -229,6 +261,9 @@ module Make (P : Rsm.Protocol.PROTOCOL) = struct
     and faults = ref 0
     and states = ref 0
     and truncated = ref 0
+    and rec_eps = ref 0
+    and recovered = ref 0
+    and rec_sum = ref 0.0
     and failures = ref [] in
     for ep = 0 to episodes - 1 do
       let ep_seed = seed + ep in
@@ -240,6 +275,15 @@ module Make (P : Rsm.Protocol.PROTOCOL) = struct
       faults := !faults + e.ep_applied;
       states := !states + e.ep_check.Checker.r_states;
       if e.ep_check.Checker.r_truncated then incr truncated;
+      List.iter
+        (fun r ->
+          incr rec_eps;
+          match Obs.Health.recovery_latency r with
+          | Some ms ->
+              incr recovered;
+              rec_sum := !rec_sum +. ms
+          | None -> ())
+        e.ep_recoveries;
       match e.ep_check.Checker.r_violation with
       | None -> ()
       | Some v ->
@@ -267,6 +311,9 @@ module Make (P : Rsm.Protocol.PROTOCOL) = struct
       s_faults = !faults;
       s_states = !states;
       s_truncated = !truncated;
+      s_recovery_episodes = !rec_eps;
+      s_recovered = !recovered;
+      s_recovery_sum_ms = !rec_sum;
       s_failures = List.rev !failures;
     }
 end

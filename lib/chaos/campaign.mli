@@ -37,6 +37,9 @@ type episode = {
   ep_completed : int;  (** client operations that got a response *)
   ep_timeouts : int;
   ep_check : Checker.result;
+  ep_recoveries : Obs.Health.recovery list;
+      (** fault-to-first-post-fault-decide episodes from the online health
+          monitor (one per fault burst; see {!Obs.Health.recovery}) *)
 }
 
 type failure = {
@@ -56,8 +59,15 @@ type summary = {
   s_faults : int;
   s_states : int;
   s_truncated : int;  (** episodes whose check hit the state budget *)
+  s_recovery_episodes : int;  (** fault bursts seen by the health monitor *)
+  s_recovered : int;  (** bursts with a post-fault decide before trace end *)
+  s_recovery_sum_ms : float;  (** total fault-to-decide latency over those *)
   s_failures : failure list;
 }
+
+val mean_recovery_ms : summary -> float option
+(** Mean fault-to-first-post-fault-decide latency; [None] when no burst
+    recovered. *)
 
 val pp_summary : Format.formatter -> summary -> unit
 (** Deterministic rendering (the reproducibility contract: two runs of the

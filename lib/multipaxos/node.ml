@@ -477,6 +477,7 @@ let leader_pid t =
 let current_ballot t = t.ballot
 let decided_log t = t.decided
 let decided_length t = Log.length t.decided
+let next_slot t = t.next_slot
 
 let cmds_size cmds = List.fold_left (fun acc c -> acc + Command.size c) 0 cmds
 

@@ -74,4 +74,8 @@ val decided_log : t -> Replog.Command.t Replog.Log.t
     which have negative ids). *)
 
 val decided_length : t -> int
+
+val next_slot : t -> int
+(** Leader-side: the next free slot (slots below it hold proposals). *)
+
 val msg_size : msg -> int

@@ -1,0 +1,539 @@
+(* Deterministic offline trace analyzer. Consumes a recorded event stream
+   (in-memory ring or JSONL file) and produces a report: per-node leader
+   timelines, stall windows, commit-latency percentiles with the span phase
+   breakdown, causal-DAG statistics, the causal critical path of the slowest
+   decided entries, health alerts/recovery episodes and invariant results.
+
+   Everything is a pure function of the input events — two runs over the
+   same trace render byte-identical reports (wired into the determinism
+   gate), so reports can be diffed and regression-gated. *)
+
+module J = Bench_report.Json
+
+type stall = { stall_from : float; stall_until : float option }
+
+type commit_stats = {
+  spans_total : int;
+  spans_decided : int;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max_ms : float;
+  mean_queueing : float;
+  mean_replication : float;
+  mean_commit : float;
+}
+
+type hop = { hop_time : float; hop_node : int; hop_desc : string }
+
+type path = {
+  path_log_idx : int;
+  path_total_ms : float;
+  path_hops : hop list;
+}
+
+type report = {
+  n : int;
+  events : int;
+  ring_dropped : int;
+  t_start : float;
+  t_end : float;
+  by_kind : (string * int) list;
+  drops_by_reason : (string * int) list;
+  leader_timeline : (int * (float * Event.ballot) list) list;
+  stall_ms : float;
+  stalls : stall list;
+  commit : commit_stats option;
+  causal_edges : int;
+  unmatched_sends : int;
+  orphan_delivers : int;
+  lamport : (unit, string) result;
+  critical_paths : path list;
+  health_alerts : Health.alert list;
+  recoveries : Health.recovery list;
+  invariants : (string * (unit, Invariant.violation) result) list;
+}
+
+let count_by tbl key =
+  let prev = Option.value (Hashtbl.find_opt tbl key) ~default:0 in
+  Hashtbl.replace tbl key (prev + 1)
+
+(* Exact percentile over a sorted array: the smallest element covering
+   fraction [p] of the population. *)
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let rank = int_of_float (Float.round (p *. float_of_int n +. 0.5)) - 1 in
+    sorted.(min (n - 1) (max 0 rank))
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let commit_stats spans =
+  let decided =
+    List.filter_map
+      (fun s -> Option.map (fun t -> (s, t)) (Span.total s))
+      spans
+  in
+  if List.is_empty decided then None
+  else begin
+    let totals = Array.of_list (List.map snd decided) in
+    Array.sort Float.compare totals;
+    Some
+      {
+        spans_total = List.length spans;
+        spans_decided = List.length decided;
+        p50 = percentile totals 0.50;
+        p90 = percentile totals 0.90;
+        p99 = percentile totals 0.99;
+        max_ms = totals.(Array.length totals - 1);
+        mean_queueing =
+          mean (List.filter_map (fun (s, _) -> Span.queueing s) decided);
+        mean_replication =
+          mean (List.filter_map (fun (s, _) -> Span.replication s) decided);
+        mean_commit =
+          mean (List.filter_map (fun (s, _) -> Span.commit s) decided);
+      }
+  end
+
+(* Stall windows: gaps between successive advances of the cluster-wide
+   decided index (bounded by the trace ends) longer than [stall_ms]. *)
+let stall_windows ~stall_ms ~t_start ~t_end events =
+  let advances = ref [] in
+  let decided_max = ref 0 in
+  List.iter
+    (fun (e : Event.t) ->
+      match e.kind with
+      | Event.Decided { decided_idx; _ } ->
+          if decided_idx > !decided_max then begin
+            decided_max := decided_idx;
+            advances := e.time :: !advances
+          end
+      (* Event-stream filter: only decides advance the index. *)
+      | _ [@lint.allow "D4"] -> ())
+    events;
+  let advances = List.rev !advances in
+  let rec windows last = function
+    | [] ->
+        if t_end -. last > stall_ms then
+          [ { stall_from = last; stall_until = None } ]
+        else []
+    | t :: rest ->
+        if t -. last > stall_ms then
+          { stall_from = last; stall_until = Some t } :: windows t rest
+        else windows t rest
+  in
+  windows t_start advances
+
+let hop_desc (e : Event.t) =
+  match e.kind with
+  | Event.Proposed { log_idx; cmd_id } ->
+      Some (Printf.sprintf "proposed idx=%d cmd=%d" log_idx cmd_id)
+  | Event.Batch_flush { entries; trigger; _ } ->
+      Some (Printf.sprintf "batch_flush entries=%d trigger=%s" entries trigger)
+  | Event.Accept_sent { start_idx; count; _ } ->
+      Some (Printf.sprintf "accept start=%d count=%d" start_idx count)
+  | Event.Msg_send { dst; send_id; _ } ->
+      Some (Printf.sprintf "send #%d -> %d" send_id dst)
+  | Event.Msg_deliver { src; send_id; _ } ->
+      Some (Printf.sprintf "deliver #%d <- %d" send_id src)
+  | Event.Accepted_idx { log_idx; _ } ->
+      Some (Printf.sprintf "accepted idx=%d" log_idx)
+  | Event.Decided { decided_idx; _ } ->
+      Some (Printf.sprintf "decide idx=%d" decided_idx)
+  | Event.Prepare_round _ -> Some "prepare"
+  | Event.Promise_sent _ -> Some "promise"
+  (* Other kinds are not part of the commit pipeline; elide them from the
+     rendered path. *)
+  | _ [@lint.allow "D4"] -> None
+
+(* The causal chain that gated the decision of [span]: back-walk from the
+   first Decided event past its index, stopping at its Proposed event. Only
+   pipeline-relevant hops are rendered, capped to the last [max_hops]. *)
+let critical_path_of ~max_hops events_arr (span : Span.t) total =
+  let n = Array.length events_arr in
+  let target = ref (-1) in
+  (let i = ref 0 in
+   while !target < 0 && !i < n do
+     (match events_arr.(!i).Event.kind with
+     | Event.Decided { decided_idx; _ } when decided_idx > span.Span.log_idx
+       ->
+         target := !i
+     (* Scanning for the decide that covered this entry. *)
+     | _ [@lint.allow "D4"] -> ());
+     incr i
+   done);
+  if !target < 0 then None
+  else begin
+    let stop (e : Event.t) =
+      match e.kind with
+      | Event.Proposed { log_idx; _ } -> log_idx = span.Span.log_idx
+      (* Keep walking until the proposal that started the span. *)
+      | _ [@lint.allow "D4"] -> false
+    in
+    let idxs = Causal.critical_path events_arr ~target:!target ~stop in
+    let hops =
+      List.filter_map
+        (fun i ->
+          let e = events_arr.(i) in
+          Option.map
+            (fun desc ->
+              { hop_time = e.Event.time; hop_node = e.Event.node; hop_desc = desc })
+            (hop_desc e))
+        idxs
+    in
+    let len = List.length hops in
+    let hops =
+      if len <= max_hops then hops
+      else List.filteri (fun i _ -> i >= len - max_hops) hops
+    in
+    Some
+      {
+        path_log_idx = span.Span.log_idx;
+        path_total_ms = total;
+        path_hops = hops;
+      }
+  end
+
+let run ?health ?(ring_dropped = 0) events =
+  let n =
+    1 + List.fold_left (fun acc (e : Event.t) -> max acc e.node) 0 events
+  in
+  let health_cfg =
+    match health with
+    (* Callers that only know the trace file (not the cluster) pass a config
+       with a placeholder [n]; grow it to the inferred size so the
+       partition-suspect matrix covers every node. *)
+    | Some c -> if c.Health.n >= n then c else { c with Health.n }
+    | None -> Health.default_config ~n ~election_timeout_ms:50.0
+  in
+  let t_start =
+    match events with [] -> 0.0 | e :: _ -> e.Event.time
+  in
+  let t_end =
+    List.fold_left (fun acc (e : Event.t) -> Float.max acc e.time) t_start
+      events
+  in
+  let kinds : (string, int) Hashtbl.t = Hashtbl.create 32 in
+  let drop_reasons : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let timeline : (int, (float * Event.ballot) list) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  List.iter
+    (fun (e : Event.t) ->
+      count_by kinds (Event.kind_name e.kind);
+      match e.kind with
+      | Event.Msg_drop { reason; _ } -> count_by drop_reasons reason
+      | Event.Leader_elected b | Event.Leader_changed b ->
+          let prev =
+            Option.value (Hashtbl.find_opt timeline e.node) ~default:[]
+          in
+          Hashtbl.replace timeline e.node ((e.time, b) :: prev)
+      (* Counted above; no dedicated aggregation. *)
+      | _ [@lint.allow "D4"] -> ())
+    events;
+  let spans = Span.assemble ~n events in
+  let _, causal_stats = Causal.pair events in
+  let events_arr = Array.of_list events in
+  let slowest =
+    List.filter_map
+      (fun s -> Option.map (fun t -> (s, t)) (Span.total s))
+      spans
+    |> List.sort (fun (a, ta) (b, tb) ->
+           match Float.compare tb ta with
+           | 0 -> Int.compare a.Span.log_idx b.Span.log_idx
+           | c -> c)
+  in
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | x :: rest -> x :: take (k - 1) rest
+  in
+  let critical_paths =
+    List.filter_map
+      (fun (s, t) -> critical_path_of ~max_hops:16 events_arr s t)
+      (take 3 slowest)
+  in
+  let monitor = Health.run health_cfg events in
+  {
+    n;
+    events = List.length events;
+    ring_dropped;
+    t_start;
+    t_end;
+    by_kind = Replog.Det.sorted_bindings ~compare_key:String.compare kinds;
+    drops_by_reason =
+      Replog.Det.sorted_bindings ~compare_key:String.compare drop_reasons;
+    leader_timeline =
+      List.map
+        (fun (node, l) -> (node, List.rev l))
+        (Replog.Det.sorted_bindings ~compare_key:Int.compare timeline);
+    stall_ms = health_cfg.Health.stall_ms;
+    stalls =
+      stall_windows ~stall_ms:health_cfg.Health.stall_ms ~t_start ~t_end
+        events;
+    commit = commit_stats spans;
+    causal_edges = causal_stats.Causal.edges;
+    unmatched_sends = causal_stats.Causal.unmatched_sends;
+    orphan_delivers = causal_stats.Causal.orphan_delivers;
+    lamport = Causal.lamport_consistent events;
+    critical_paths;
+    health_alerts = Health.alerts monitor;
+    recoveries = Health.recoveries monitor;
+    invariants = Invariant.check_all events;
+  }
+
+let of_file ?health file =
+  match open_in file with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let rec read_lines lineno acc =
+        match input_line ic with
+        | exception End_of_file -> Ok (List.rev acc)
+        | "" -> read_lines (lineno + 1) acc
+        | line -> (
+            match Event.of_json line with
+            | Ok e -> read_lines (lineno + 1) (e :: acc)
+            | Error msg ->
+                Error (Printf.sprintf "%s:%d: %s" file lineno msg))
+      in
+      let result = read_lines 1 [] in
+      close_in ic;
+      Result.map (fun events -> run ?health events) result
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let pp_ms ppf v = Format.fprintf ppf "%.3f" v
+
+let pp ppf r =
+  let line fmt = Format.fprintf ppf fmt in
+  line "== trace analysis ==@.";
+  line "nodes      : %d@." r.n;
+  line "events     : %d (ring-dropped %d)@." r.events r.ring_dropped;
+  line "time range : %a .. %a ms@." pp_ms r.t_start pp_ms r.t_end;
+  line "@.-- events by kind --@.";
+  List.iter (fun (k, c) -> line "  %-16s %d@." k c) r.by_kind;
+  if not (List.is_empty r.drops_by_reason) then begin
+    line "@.-- drops by reason --@.";
+    List.iter (fun (k, c) -> line "  %-16s %d@." k c) r.drops_by_reason
+  end;
+  line "@.-- leader timeline --@.";
+  if List.is_empty r.leader_timeline then line "  (no leader events)@.";
+  List.iter
+    (fun (node, changes) ->
+      line "  node %d:" node;
+      List.iter
+        (fun (t, b) -> line " t=%a %a" pp_ms t Event.pp_ballot b)
+        changes;
+      line "@.")
+    r.leader_timeline;
+  line "@.-- stall windows (decide gap > %a ms) --@." pp_ms r.stall_ms;
+  if List.is_empty r.stalls then line "  (none)@.";
+  List.iter
+    (fun s ->
+      match s.stall_until with
+      | Some u ->
+          line "  %a .. %a (%a ms)@." pp_ms s.stall_from pp_ms u pp_ms
+            (u -. s.stall_from)
+      | None -> line "  %a .. end of trace@." pp_ms s.stall_from)
+    r.stalls;
+  line "@.-- commit latency --@.";
+  (match r.commit with
+  | None -> line "  (no decided spans)@."
+  | Some c ->
+      line "  spans: %d decided of %d proposed@." c.spans_decided
+        c.spans_total;
+      line "  p50 %a ms, p90 %a ms, p99 %a ms, max %a ms@." pp_ms c.p50
+        pp_ms c.p90 pp_ms c.p99 pp_ms c.max_ms;
+      line
+        "  phase means: queueing %a ms, replication %a ms, commit %a ms@."
+        pp_ms c.mean_queueing pp_ms c.mean_replication pp_ms c.mean_commit);
+  line "@.-- causal DAG --@.";
+  line "  edges %d, unmatched sends %d, orphan delivers %d@." r.causal_edges
+    r.unmatched_sends r.orphan_delivers;
+  (match r.lamport with
+  | Ok () -> line "  lamport clocks: consistent@."
+  | Error msg -> line "  lamport clocks: VIOLATION (%s)@." msg);
+  line "@.-- critical paths (slowest decided entries) --@.";
+  if List.is_empty r.critical_paths then line "  (none)@.";
+  List.iter
+    (fun p ->
+      line "  log_idx %d (total %a ms):@." p.path_log_idx pp_ms
+        p.path_total_ms;
+      List.iter
+        (fun h ->
+          line "    t=%a node %d %s@." pp_ms h.hop_time h.hop_node h.hop_desc)
+        p.path_hops)
+    r.critical_paths;
+  line "@.-- health --@.";
+  if List.is_empty r.health_alerts then line "  (no alerts)@.";
+  List.iter
+    (fun (a : Health.alert) ->
+      line "  t=%a %s %s@." pp_ms a.Health.at
+        (match a.Health.edge with
+        | Health.Trigger -> "TRIGGER"
+        | Health.Clear -> "CLEAR")
+        a.Health.what)
+    r.health_alerts;
+  line "  recoveries:@.";
+  if List.is_empty r.recoveries then line "    (none)@.";
+  List.iter
+    (fun (rc : Health.recovery) ->
+      line "    fault %s at %a (%d fault events): detect %s, decide %s@."
+        rc.Health.fault pp_ms rc.Health.fault_at rc.Health.faults
+        (match Health.detect_latency rc with
+        | Some d -> Printf.sprintf "+%.3f ms" d
+        | None -> "-")
+        (match Health.recovery_latency rc with
+        | Some d -> Printf.sprintf "+%.3f ms" d
+        | None -> "never"))
+    r.recoveries;
+  line "@.-- invariants --@.";
+  List.iter
+    (fun (name, result) ->
+      match result with
+      | Ok () -> line "  %s: ok@." name
+      | Error v ->
+          line "  %s: VIOLATION %a@." name Invariant.pp_violation v)
+    r.invariants
+
+let to_string r = Format.asprintf "%a" pp r
+
+let json_ballot (b : Event.ballot) =
+  J.Obj [ ("n", J.Int b.n); ("prio", J.Int b.prio); ("pid", J.Int b.pid) ]
+
+let json_opt f = function Some v -> f v | None -> J.Null
+
+let to_json r =
+  J.Obj
+    [
+      ("schema_version", J.Int 1);
+      ("n", J.Int r.n);
+      ("events", J.Int r.events);
+      ("ring_dropped", J.Int r.ring_dropped);
+      ("t_start_ms", J.float r.t_start);
+      ("t_end_ms", J.float r.t_end);
+      ( "by_kind",
+        J.Obj (List.map (fun (k, c) -> (k, J.Int c)) r.by_kind) );
+      ( "drops_by_reason",
+        J.Obj (List.map (fun (k, c) -> (k, J.Int c)) r.drops_by_reason) );
+      ( "leader_timeline",
+        J.List
+          (List.map
+             (fun (node, changes) ->
+               J.Obj
+                 [
+                   ("node", J.Int node);
+                   ( "changes",
+                     J.List
+                       (List.map
+                          (fun (t, b) ->
+                            J.Obj
+                              [
+                                ("t_ms", J.float t);
+                                ("ballot", json_ballot b);
+                              ])
+                          changes) );
+                 ])
+             r.leader_timeline) );
+      ("stall_threshold_ms", J.float r.stall_ms);
+      ( "stalls",
+        J.List
+          (List.map
+             (fun s ->
+               J.Obj
+                 [
+                   ("from_ms", J.float s.stall_from);
+                   ("until_ms", json_opt J.float s.stall_until);
+                 ])
+             r.stalls) );
+      ( "commit",
+        json_opt
+          (fun c ->
+            J.Obj
+              [
+                ("spans_total", J.Int c.spans_total);
+                ("spans_decided", J.Int c.spans_decided);
+                ("p50_ms", J.float c.p50);
+                ("p90_ms", J.float c.p90);
+                ("p99_ms", J.float c.p99);
+                ("max_ms", J.float c.max_ms);
+                ("mean_queueing_ms", J.float c.mean_queueing);
+                ("mean_replication_ms", J.float c.mean_replication);
+                ("mean_commit_ms", J.float c.mean_commit);
+              ])
+          r.commit );
+      ( "causal",
+        J.Obj
+          [
+            ("edges", J.Int r.causal_edges);
+            ("unmatched_sends", J.Int r.unmatched_sends);
+            ("orphan_delivers", J.Int r.orphan_delivers);
+            ( "lamport_consistent",
+              J.Bool (match r.lamport with Ok () -> true | Error _ -> false)
+            );
+          ] );
+      ( "critical_paths",
+        J.List
+          (List.map
+             (fun p ->
+               J.Obj
+                 [
+                   ("log_idx", J.Int p.path_log_idx);
+                   ("total_ms", J.float p.path_total_ms);
+                   ( "hops",
+                     J.List
+                       (List.map
+                          (fun h ->
+                            J.Obj
+                              [
+                                ("t_ms", J.float h.hop_time);
+                                ("node", J.Int h.hop_node);
+                                ("desc", J.String h.hop_desc);
+                              ])
+                          p.path_hops) );
+                 ])
+             r.critical_paths) );
+      ( "health_alerts",
+        J.List
+          (List.map
+             (fun (a : Health.alert) ->
+               J.Obj
+                 [
+                   ("t_ms", J.float a.Health.at);
+                   ( "edge",
+                     J.String
+                       (match a.Health.edge with
+                       | Health.Trigger -> "trigger"
+                       | Health.Clear -> "clear") );
+                   ("what", J.String a.Health.what);
+                 ])
+             r.health_alerts) );
+      ( "recoveries",
+        J.List
+          (List.map
+             (fun (rc : Health.recovery) ->
+               J.Obj
+                 [
+                   ("fault", J.String rc.Health.fault);
+                   ("fault_at_ms", J.float rc.Health.fault_at);
+                   ("fault_events", J.Int rc.Health.faults);
+                   ( "detect_ms",
+                     json_opt J.float (Health.detect_latency rc) );
+                   ( "recover_ms",
+                     json_opt J.float (Health.recovery_latency rc) );
+                 ])
+             r.recoveries) );
+      ( "invariants",
+        J.Obj
+          (List.map
+             (fun (name, result) ->
+               ( name,
+                 J.Bool (match result with Ok () -> true | Error _ -> false)
+               ))
+             r.invariants) );
+    ]

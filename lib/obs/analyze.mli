@@ -1,0 +1,77 @@
+(** Deterministic offline trace analyzer.
+
+    Consumes a recorded event stream (in-memory list or JSONL file) and
+    produces a report: per-node leader timelines, stall windows,
+    commit-latency percentiles with the span phase breakdown, causal-DAG
+    statistics, the causal critical path of the slowest decided entries,
+    health alerts / recovery episodes and invariant results.
+
+    The report is a pure function of the input events: two runs over the
+    same trace render byte-identical text and JSON (this is asserted by the
+    determinism gate), so reports can be diffed and regression-gated. *)
+
+type stall = { stall_from : float; stall_until : float option }
+
+type commit_stats = {
+  spans_total : int;
+  spans_decided : int;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max_ms : float;
+  mean_queueing : float;
+  mean_replication : float;
+  mean_commit : float;
+}
+
+type hop = { hop_time : float; hop_node : int; hop_desc : string }
+
+type path = {
+  path_log_idx : int;
+  path_total_ms : float;
+  path_hops : hop list;
+}
+
+type report = {
+  n : int;
+  events : int;
+  ring_dropped : int;
+      (** events lost to ring overflow before analysis (satellite: surfaced
+          so an overflowed trace is distinguishable from a complete one) *)
+  t_start : float;
+  t_end : float;
+  by_kind : (string * int) list;  (** sorted by kind name *)
+  drops_by_reason : (string * int) list;
+  leader_timeline : (int * (float * Event.ballot) list) list;
+      (** per node: chronological (time, observed leader) changes *)
+  stall_ms : float;  (** threshold used for {!field-stalls} *)
+  stalls : stall list;
+  commit : commit_stats option;  (** [None] when nothing was decided *)
+  causal_edges : int;
+  unmatched_sends : int;
+  orphan_delivers : int;
+  lamport : (unit, string) result;
+  critical_paths : path list;  (** up to 3 slowest decided entries *)
+  health_alerts : Health.alert list;
+  recoveries : Health.recovery list;
+  invariants : (string * (unit, Invariant.violation) result) list;
+}
+
+val run : ?health:Health.config -> ?ring_dropped:int -> Event.t list -> report
+(** Analyze an in-memory event stream (in emission order). [health]
+    defaults to {!Health.default_config} with a 50 ms election timeout; a
+    config whose [n] is smaller than the cluster inferred from the trace is
+    grown to that size. [ring_dropped] (default 0) is reported as
+    {!field-ring_dropped}. *)
+
+val of_file : ?health:Health.config -> string -> (report, string) result
+(** Analyze a JSONL trace file (as written by [--trace] / [opx chaos]).
+    Blank lines are skipped; a malformed line fails with its line number. *)
+
+val pp : Format.formatter -> report -> unit
+(** Human-readable fixed-precision rendering; byte-stable per report. *)
+
+val to_string : report -> string
+
+val to_json : report -> Bench_report.Json.t
+(** Machine-readable form of the same report. *)

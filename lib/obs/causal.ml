@@ -1,0 +1,152 @@
+(* Happens-before structure of a trace. Simnet stamps every transmission
+   with a network-unique send id and a Lamport clock, so a recorded stream
+   pairs into (send, deliver) edges: the causal DAG is those edges plus each
+   node's local event order. Everything here is a pure function of the event
+   list, so analyses are deterministic. *)
+
+type edge = {
+  send_id : int;
+  src : int;
+  dst : int;
+  size : int;
+  sent_at : float;
+  delivered_at : float;
+}
+
+type stats = {
+  edges : int;  (* matched (send, deliver) pairs *)
+  unmatched_sends : int;  (* sent but never delivered: dropped or in flight *)
+  orphan_delivers : int;  (* delivered without a recorded send (ring loss) *)
+}
+
+let pair events =
+  let sends : (int, int * float * int) Hashtbl.t = Hashtbl.create 1024 in
+  let edges_rev = ref [] in
+  let n_edges = ref 0 in
+  let orphans = ref 0 in
+  List.iter
+    (fun (e : Event.t) ->
+      match e.kind with
+      | Event.Msg_send { dst = _; size; send_id; lc = _ } ->
+          Hashtbl.replace sends send_id (e.node, e.time, size)
+      | Event.Msg_deliver { src; size; send_id; lc = _ } -> (
+          match Hashtbl.find_opt sends send_id with
+          | Some (src', sent_at, _) ->
+              Hashtbl.remove sends send_id;
+              incr n_edges;
+              edges_rev :=
+                {
+                  send_id;
+                  src = (if src >= 0 then src else src');
+                  dst = e.node;
+                  size;
+                  sent_at;
+                  delivered_at = e.time;
+                }
+                :: !edges_rev
+          | None -> incr orphans)
+      (* Event-stream filter: only message events carry causal stamps. *)
+      | _ [@lint.allow "D4"] -> ())
+    events;
+  let stats =
+    {
+      edges = !n_edges;
+      unmatched_sends = Hashtbl.length sends;
+      orphan_delivers = !orphans;
+    }
+  in
+  (List.rev !edges_rev, stats)
+
+(* Lamport consistency: each delivery's clock exceeds its send's clock, and
+   each node's message clocks are strictly increasing in stream order. A
+   violation means the stamping in simnet (or a hand-edited trace) broke the
+   happens-before order. *)
+let lamport_consistent events =
+  let sends : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let last_lc : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let check_node_order (e : Event.t) lc =
+    match Hashtbl.find_opt last_lc e.node with
+    | Some prev when lc <= prev ->
+        Error
+          (Printf.sprintf
+             "node %d clock not increasing: %d then %d at t=%.3f" e.node prev
+             lc e.time)
+    | _ ->
+        Hashtbl.replace last_lc e.node lc;
+        Ok ()
+  in
+  let rec scan = function
+    | [] -> Ok ()
+    | (e : Event.t) :: rest -> (
+        match e.kind with
+        | Event.Msg_send { send_id; lc; _ } -> (
+            Hashtbl.replace sends send_id lc;
+            match check_node_order e lc with
+            | Ok () -> scan rest
+            | Error _ as err -> err)
+        | Event.Msg_deliver { send_id; lc; _ } -> (
+            let send_ok =
+              match Hashtbl.find_opt sends send_id with
+              | Some slc when lc <= slc ->
+                  Error
+                    (Printf.sprintf
+                       "deliver #%d at node %d has lc %d <= send lc %d"
+                       send_id e.node lc slc)
+              | Some _ | None -> Ok ()
+            in
+            match send_ok with
+            | Error _ as err -> err
+            | Ok () -> (
+                match check_node_order e lc with
+                | Ok () -> scan rest
+                | Error _ as err -> err))
+        (* Event-stream filter: only message events carry clocks. *)
+        | _ [@lint.allow "D4"] -> scan rest)
+  in
+  scan events
+
+(* Causal predecessor walk. The predecessor of a delivery is its matching
+   send; the predecessor of anything else is the previous event on the same
+   node. Walking back from a [Decided] event therefore yields the chain of
+   events that gated the decision — the critical path. The walk stops when
+   [stop] holds at the current event, or after [max_len] hops. Returns
+   indices into [events], oldest first (the target is last). *)
+let critical_path ?(max_len = 100_000) (events : Event.t array) ~target ~stop
+    =
+  let n = Array.length events in
+  if target < 0 || target >= n then invalid_arg "Causal.critical_path";
+  (* prev_same_node.(i): index of the latest j < i with events.(j).node =
+     events.(i).node, or -1. *)
+  let prev_same_node = Array.make n (-1) in
+  let last_seen : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  Array.iteri
+    (fun i (e : Event.t) ->
+      (match Hashtbl.find_opt last_seen e.node with
+      | Some j -> prev_same_node.(i) <- j
+      | None -> ());
+      Hashtbl.replace last_seen e.node i)
+    events;
+  let send_index : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+  Array.iteri
+    (fun i (e : Event.t) ->
+      match e.kind with
+      | Event.Msg_send { send_id; _ } -> Hashtbl.replace send_index send_id i
+      (* Only sends anchor cross-node hops. *)
+      | _ [@lint.allow "D4"] -> ())
+    events;
+  let rec walk acc i steps =
+    let acc = i :: acc in
+    if steps >= max_len || stop events.(i) then acc
+    else
+      let pred =
+        match events.(i).kind with
+        | Event.Msg_deliver { send_id; _ } -> (
+            match Hashtbl.find_opt send_index send_id with
+            | Some j when j < i -> j
+            | Some _ | None -> prev_same_node.(i))
+        (* Local events chain to the node's previous event. *)
+        | _ [@lint.allow "D4"] -> prev_same_node.(i)
+      in
+      if pred < 0 then acc else walk acc pred (steps + 1)
+  in
+  walk [] target 0

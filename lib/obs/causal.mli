@@ -1,0 +1,43 @@
+(** Happens-before structure of a trace.
+
+    Simnet stamps every transmission with a network-unique send id and a
+    Lamport clock (see {!Event.kind}), so a recorded event stream pairs into
+    (send, deliver) edges; together with each node's local event order they
+    form the run's causal DAG. All functions are pure over the event list
+    and deterministic. *)
+
+type edge = {
+  send_id : int;
+  src : int;
+  dst : int;
+  size : int;
+  sent_at : float;
+  delivered_at : float;
+}
+
+type stats = {
+  edges : int;  (** matched (send, deliver) pairs *)
+  unmatched_sends : int;  (** sent but never delivered: dropped or in flight *)
+  orphan_delivers : int;
+      (** delivered without a recorded send — evidence of ring overflow *)
+}
+
+val pair : Event.t list -> edge list * stats
+(** Pair [Msg_send]/[Msg_deliver] events by send id. Edges are returned in
+    delivery order. *)
+
+val lamport_consistent : Event.t list -> (unit, string) result
+(** Check that every delivery's Lamport clock exceeds its send's, and that
+    each node's message clocks strictly increase in stream order. *)
+
+val critical_path :
+  ?max_len:int ->
+  Event.t array ->
+  target:int ->
+  stop:(Event.t -> bool) ->
+  int list
+(** Walk causal predecessors backwards from [events.(target)]: a delivery
+    hops to its matching send, anything else to the node's previous event.
+    Stops when [stop] holds at the current event (inclusive) or after
+    [max_len] hops (default 100_000). Returns indices oldest-first, ending
+    with [target]. *)

@@ -3,7 +3,9 @@
     terms and VR views map onto them as (term, 0, leader).
 
     Events serialise to one JSON object per line (JSONL); the schema is
-    documented in the README's "Trace format" section. *)
+    documented in the README's "Trace format" section (schema v2: message
+    events carry a cluster-unique [send_id] and a Lamport clock [lc], and
+    drops carry the transport [session] they were judged against). *)
 
 type ballot = { n : int; prio : int; pid : int }
 
@@ -21,6 +23,16 @@ type kind =
       (** Follower-side: acknowledged the log up to [log_idx]. *)
   | Decided of { b : ballot; decided_idx : int }
       (** The decided index advanced to [decided_idx]. *)
+  | Proposed of { log_idx : int; cmd_id : int }
+      (** Leader-side: client command [cmd_id] was appended to the leader's
+          log at [log_idx] (the moment a proposal enters the pipeline). *)
+  | Batch_flush of { entries : int; followers : int; cap : int; trigger : string }
+      (** The leader flushed [entries] buffered log entries to [followers]
+          followers under Accept cap [cap]. Triggers: "size" (the eager
+          size-triggered flush in [propose]) or "deadline" (the tick-driven
+          deadline flush). *)
+  | Cap_change of { cap_from : int; cap_to : int }
+      (** The adaptive batching policy adjusted the per-Accept cap. *)
   | Session_drop of { peer : int; session : int }
       (** The transport session with [peer] was torn down (link loss). *)
   | Session_up of { peer : int; session : int }
@@ -32,10 +44,24 @@ type kind =
   | Reconfig of { config_id : int; milestone : string }
       (** Service-layer reconfiguration milestones: "stop-sign-proposed",
           "stop-sign-decided", "migration-start", "migration-done". *)
-  | Msg_send of { dst : int; size : int }
-  | Msg_deliver of { src : int; size : int }
-  | Msg_drop of { src : int; dst : int; reason : string }
-      (** Reasons: "src-down", "dst-down", "link-down", "stale-session". *)
+  | Msg_send of { dst : int; size : int; send_id : int; lc : int }
+      (** [send_id] is unique per transmission within a simulation; [lc] is
+          the sender's Lamport clock after the send tick. *)
+  | Msg_deliver of { src : int; size : int; send_id : int; lc : int }
+      (** [send_id] matches the corresponding [Msg_send]; [lc] is the
+          receiver's Lamport clock after merging the sender's. *)
+  | Msg_drop of {
+      src : int;
+      dst : int;
+      reason : string;
+      session : int;
+      send_id : int;
+    }
+      (** Reasons: "src-down", "dst-down", "link-down", "stale-session".
+          [session] is the session id the message was stamped with (so a
+          "stale-session" drop can be tied to the [Session_drop] that
+          invalidated it); [send_id] is [-1] when the message was refused at
+          send time and no [Msg_send] was ever emitted. *)
   | Chaos_fault of { step : int; fault : string }
       (** A chaos-campaign nemesis applied a fault ([fault] is its compact
           rendering, e.g. "crash(2)"); [node] is -1 for cluster-wide faults. *)
@@ -53,8 +79,13 @@ type t = {
 }
 
 val kind_name : kind -> string
+
 val to_json : t -> string
 (** One JSON object, no trailing newline. *)
+
+val of_json : string -> (t, string) result
+(** Parse one JSONL line back into an event (inverse of {!to_json}).
+    Unknown kinds and missing fields are reported as [Error]. *)
 
 val pp : Format.formatter -> t -> unit
 val pp_ballot : Format.formatter -> ballot -> unit

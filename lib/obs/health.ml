@@ -1,0 +1,217 @@
+(* Online liveness health monitoring. A [Health.t] consumes the live event
+   stream (subscribe [observe h] as a tracer sink, or feed it a recorded
+   list) and maintains streaming detectors:
+
+   - stall watchdog: the cluster-wide decided index has not advanced for
+     more than [stall_ms] of simulated time;
+   - leader-churn meter: at least [churn_threshold] observed leader changes
+     within a sliding [churn_window_ms] window;
+   - partition-suspect matrix: [suspect_after] consecutive drops on a
+     directed (src, dst) pair with no delivery in between;
+   - recovery episodes: from the first fault event (crash / link cut /
+     chaos fault) to the first leadership reaction ("detect") and the first
+     post-fault advance of the decided index ("recover").
+
+   All state is driven by simulated event timestamps, never wall clock, so
+   replaying the same trace yields the same alerts. *)
+
+type config = {
+  n : int;
+  stall_ms : float;
+  churn_window_ms : float;
+  churn_threshold : int;
+  suspect_after : int;
+}
+
+let default_config ~n ~election_timeout_ms =
+  {
+    n;
+    (* The paper's yardstick: recovery within ~4 election timeouts. A decide
+       gap beyond that is a liveness incident, not normal re-election. *)
+    stall_ms = 4.0 *. election_timeout_ms;
+    churn_window_ms = 20.0 *. election_timeout_ms;
+    churn_threshold = 4;
+    suspect_after = 8;
+  }
+
+type edge = Trigger | Clear
+
+type alert = { at : float; edge : edge; what : string }
+
+type recovery = {
+  fault_at : float;
+  fault : string;
+  faults : int;  (* total fault events absorbed into this episode *)
+  detect_at : float option;
+  decide_at : float option;
+}
+
+type t = {
+  cfg : config;
+  mutable alerts_rev : alert list;
+  (* Stall watchdog. *)
+  mutable started : bool;
+  mutable last_advance : float;
+  mutable decided_max : int;
+  mutable stalled : bool;
+  (* Churn meter: recent Leader_changed times, oldest first. *)
+  churn : float Queue.t;
+  mutable churn_active : bool;
+  (* Partition-suspect matrix. *)
+  consec_drops : int array array;
+  suspect : bool array array;
+  (* Recovery episodes. *)
+  mutable episode : recovery option;
+  mutable recoveries_rev : recovery list;
+}
+
+let create cfg =
+  if cfg.n <= 0 then invalid_arg "Health.create: n must be positive";
+  {
+    cfg;
+    alerts_rev = [];
+    started = false;
+    last_advance = 0.0;
+    decided_max = 0;
+    stalled = false;
+    churn = Queue.create ();
+    churn_active = false;
+    consec_drops = Array.make_matrix cfg.n cfg.n 0;
+    suspect = Array.make_matrix cfg.n cfg.n false;
+    episode = None;
+    recoveries_rev = [];
+  }
+
+let alert t ~at ~edge what = t.alerts_rev <- { at; edge; what } :: t.alerts_rev
+
+let in_range t i = i >= 0 && i < t.cfg.n
+
+let note_fault t ~at fault =
+  match t.episode with
+  | None ->
+      t.episode <-
+        Some { fault_at = at; fault; faults = 1; detect_at = None; decide_at = None }
+  | Some ep -> t.episode <- Some { ep with faults = ep.faults + 1 }
+
+let note_detect t ~at =
+  match t.episode with
+  | Some ep when Option.is_none ep.detect_at ->
+      t.episode <- Some { ep with detect_at = Some at }
+  | Some _ | None -> ()
+
+let note_decide_advance t ~at =
+  (match t.episode with
+  | Some ep ->
+      (* First post-fault advance closes the episode. With no detection
+         observed the fault turned out benign for liveness (the leader's
+         quorum survived); the episode still records that. *)
+      t.recoveries_rev <- { ep with decide_at = Some at } :: t.recoveries_rev;
+      t.episode <- None
+  | None -> ());
+  if t.stalled then begin
+    t.stalled <- false;
+    alert t ~at ~edge:Clear
+      (Printf.sprintf "stall (gap %.1f ms)" (at -. t.last_advance))
+  end;
+  t.last_advance <- at
+
+let prune_churn t ~at =
+  while
+    (not (Queue.is_empty t.churn))
+    && Queue.peek t.churn < at -. t.cfg.churn_window_ms
+  do
+    ignore (Queue.pop t.churn)
+  done
+
+let observe t (e : Event.t) =
+  let at = e.time in
+  if not t.started then begin
+    t.started <- true;
+    t.last_advance <- at
+  end;
+  (* Kind-specific detectors. *)
+  (match e.kind with
+  | Event.Decided { decided_idx; _ } ->
+      if decided_idx > t.decided_max then begin
+        t.decided_max <- decided_idx;
+        note_decide_advance t ~at
+      end
+  | Event.Leader_changed _ ->
+      note_detect t ~at;
+      prune_churn t ~at;
+      Queue.add at t.churn;
+      if Queue.length t.churn >= t.cfg.churn_threshold && not t.churn_active
+      then begin
+        t.churn_active <- true;
+        alert t ~at ~edge:Trigger
+          (Printf.sprintf "leader churn (%d changes in %.0f ms)"
+             (Queue.length t.churn) t.cfg.churn_window_ms)
+      end
+  | Event.Ballot_increment _ | Event.Prepare_round _ | Event.Leader_elected _
+    ->
+      note_detect t ~at
+  | Event.Crashed -> note_fault t ~at (Printf.sprintf "crash(%d)" e.node)
+  | Event.Link_cut { a; b } ->
+      note_fault t ~at (Printf.sprintf "link_cut(%d,%d)" a b)
+  | Event.Chaos_fault { fault; _ } -> note_fault t ~at fault
+  | Event.Msg_drop { src; dst; _ } ->
+      if in_range t src && in_range t dst then begin
+        let c = t.consec_drops.(src).(dst) + 1 in
+        t.consec_drops.(src).(dst) <- c;
+        if c = t.cfg.suspect_after && not t.suspect.(src).(dst) then begin
+          t.suspect.(src).(dst) <- true;
+          alert t ~at ~edge:Trigger
+            (Printf.sprintf "partition suspect %d->%d (%d consecutive drops)"
+               src dst c)
+        end
+      end
+  | Event.Msg_deliver { src; _ } ->
+      if in_range t src && in_range t e.node then begin
+        t.consec_drops.(src).(e.node) <- 0;
+        if t.suspect.(src).(e.node) then begin
+          t.suspect.(src).(e.node) <- false;
+          alert t ~at ~edge:Clear
+            (Printf.sprintf "partition suspect %d->%d" src e.node)
+        end
+      end
+  (* Event-stream filter: remaining kinds feed no detector. *)
+  | _ [@lint.allow "D4"] -> ());
+  (* Time-driven checks run on every event. *)
+  if (not t.stalled) && at -. t.last_advance > t.cfg.stall_ms then begin
+    t.stalled <- true;
+    alert t ~at ~edge:Trigger
+      (Printf.sprintf "stall (no decide for %.1f ms)" (at -. t.last_advance))
+  end;
+  if t.churn_active then begin
+    prune_churn t ~at;
+    if Queue.length t.churn < t.cfg.churn_threshold then begin
+      t.churn_active <- false;
+      alert t ~at ~edge:Clear "leader churn"
+    end
+  end
+
+let alerts t = List.rev t.alerts_rev
+
+let recoveries t =
+  let closed = List.rev t.recoveries_rev in
+  match t.episode with None -> closed | Some ep -> closed @ [ ep ]
+
+let suspects t =
+  let acc = ref [] in
+  for src = t.cfg.n - 1 downto 0 do
+    for dst = t.cfg.n - 1 downto 0 do
+      if t.suspect.(src).(dst) then acc := (src, dst) :: !acc
+    done
+  done;
+  !acc
+
+let detect_latency (r : recovery) =
+  match r.detect_at with Some d -> Some (d -. r.fault_at) | None -> None
+
+let recovery_latency (r : recovery) =
+  match r.decide_at with Some d -> Some (d -. r.fault_at) | None -> None
+
+let run cfg events =
+  let t = create cfg in
+  List.iter (observe t) events;
+  t

@@ -1,0 +1,60 @@
+(** Online liveness health monitoring over the trace stream.
+
+    A monitor consumes events one at a time — subscribe [observe h] as a
+    tracer sink for live monitoring, or replay a recorded list with {!run}.
+    Detectors are driven purely by simulated event timestamps, so the same
+    trace always yields the same alerts. *)
+
+type config = {
+  n : int;  (** cluster size (for the suspect matrix) *)
+  stall_ms : float;  (** decide-gap beyond which the cluster is stalled *)
+  churn_window_ms : float;  (** sliding window for the churn meter *)
+  churn_threshold : int;  (** leader changes within the window to alert *)
+  suspect_after : int;  (** consecutive (src,dst) drops to suspect a link *)
+}
+
+val default_config : n:int -> election_timeout_ms:float -> config
+(** Stall at 4 election timeouts (the paper's recovery yardstick), churn
+    window of 20 timeouts with threshold 4, suspicion after 8 consecutive
+    drops. *)
+
+type edge = Trigger | Clear
+type alert = { at : float; edge : edge; what : string }
+
+type recovery = {
+  fault_at : float;  (** first fault event of the episode *)
+  fault : string;  (** its rendering, e.g. "crash(2)" or "link_cut(0,3)" *)
+  faults : int;  (** fault events absorbed into the episode *)
+  detect_at : float option;
+      (** first leadership reaction (ballot increment, prepare, leader
+          change) after the fault; [None] if none before the next decide *)
+  decide_at : float option;
+      (** first advance of the cluster-wide decided index after the fault;
+          [None] if the trace ends with the episode still open *)
+}
+
+type t
+
+val create : config -> t
+
+val observe : t -> Event.t -> unit
+(** Feed one event; usable directly as a {!Trace.sink}. *)
+
+val run : config -> Event.t list -> t
+(** Replay a recorded trace through a fresh monitor. *)
+
+val alerts : t -> alert list
+(** Trigger/clear edges in chronological order. *)
+
+val recoveries : t -> recovery list
+(** Closed episodes in order; a still-open episode is appended last with
+    [decide_at = None]. *)
+
+val suspects : t -> (int * int) list
+(** Directed pairs currently under partition suspicion, lexicographic. *)
+
+val detect_latency : recovery -> float option
+(** [detect_at - fault_at]. *)
+
+val recovery_latency : recovery -> float option
+(** [decide_at - fault_at] — fault to first post-fault decide. *)

@@ -5,24 +5,28 @@ type 'a t = {
   buf : 'a option array;
   mutable next : int;  (* index the next push writes to *)
   mutable count : int;  (* elements currently stored, <= capacity *)
+  mutable dropped : int;  (* elements overwritten since create/clear *)
 }
 
 let create ~capacity =
   if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
-  { buf = Array.make capacity None; next = 0; count = 0 }
+  { buf = Array.make capacity None; next = 0; count = 0; dropped = 0 }
 
 let capacity t = Array.length t.buf
 let length t = t.count
+let dropped t = t.dropped
 
 let push t x =
   t.buf.(t.next) <- Some x;
   t.next <- (t.next + 1) mod Array.length t.buf;
   if t.count < Array.length t.buf then t.count <- t.count + 1
+  else t.dropped <- t.dropped + 1
 
 let clear t =
   Array.fill t.buf 0 (Array.length t.buf) None;
   t.next <- 0;
-  t.count <- 0
+  t.count <- 0;
+  t.dropped <- 0
 
 (* Oldest-first. *)
 let iter t f =

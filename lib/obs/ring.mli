@@ -10,6 +10,11 @@ val capacity : 'a t -> int
 val length : 'a t -> int
 (** Elements currently stored; at most [capacity]. *)
 
+val dropped : 'a t -> int
+(** Number of elements overwritten (lost) since creation or the last
+    {!clear}. Zero means the ring holds the complete pushed sequence;
+    non-zero means the oldest [dropped] elements are gone. *)
+
 val push : 'a t -> 'a -> unit
 val clear : 'a t -> unit
 

@@ -51,6 +51,8 @@ let jsonl_sink oc : sink =
   output_string oc (Event.to_json e);
   output_char oc '\n'
 
+type recording = { events : Event.t list; dropped : int }
+
 let with_recording ?(capacity = 1_000_000) f =
   let ring = Ring.create ~capacity in
   let id = subscribe (ring_sink ring) in
@@ -63,7 +65,7 @@ let with_recording ?(capacity = 1_000_000) f =
   match f () with
   | v ->
       finish ();
-      (v, Ring.to_list ring)
+      (v, { events = Ring.to_list ring; dropped = Ring.dropped ring })
   | exception e ->
       finish ();
       raise e

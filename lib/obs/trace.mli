@@ -40,11 +40,18 @@ val ring_sink : Event.t Ring.t -> sink
 val jsonl_sink : out_channel -> sink
 (** One [Event.to_json] object per line. *)
 
-val with_recording : ?capacity:int -> (unit -> 'a) -> 'a * Event.t list
+type recording = {
+  events : Event.t list;  (** oldest-first; the ring's surviving suffix *)
+  dropped : int;
+      (** events overwritten on ring overflow — non-zero means [events] is
+          an incomplete (suffix-only) view of the run *)
+}
+
+val with_recording : ?capacity:int -> (unit -> 'a) -> 'a * recording
 (** [with_recording f] runs [f] with tracing enabled into a fresh in-memory
     ring (default capacity 1,000,000 events) and returns [f ()]'s result
-    together with the recorded events, restoring the previous tracer state
-    afterwards (also on exceptions). *)
+    together with the recorded events and the overflow drop count, restoring
+    the previous tracer state afterwards (also on exceptions). *)
 
 val with_jsonl : file:string -> (unit -> 'a) -> 'a
 (** Run with tracing enabled into a JSONL file, restoring tracer state and

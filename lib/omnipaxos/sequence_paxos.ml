@@ -183,6 +183,20 @@ let append_entry t e =
   if Entry.is_stop_sign e && Option.is_none t.ss_idx then
     t.ss_idx <- Some (Log.length t.dur.log - 1)
 
+(* Proposal spans key off this event: the moment a client command enters the
+   leader's log. Stop-signs carry cmd_id -1. *)
+let trace_proposed t e =
+  if Obs.Trace.on () then
+    Obs.Trace.emit ~node:t.id
+      (Obs.Event.Proposed
+         {
+           log_idx = Log.length t.dur.log - 1;
+           cmd_id =
+             (match e with
+             | Entry.Cmd c -> c.Replog.Command.id
+             | Entry.Stop_sign _ -> -1);
+         })
+
 let advance_decided t d =
   let d = min d (Log.length t.dur.log) in
   if d > t.dur.decided_idx then begin
@@ -291,7 +305,11 @@ let complete_prepare t =
   (* Append proposals buffered during the Prepare phase, unless the adopted
      log ends the configuration. *)
   Queue.iter
-    (fun e -> if Option.is_none t.ss_idx then append_entry t e)
+    (fun e ->
+      if Option.is_none t.ss_idx then begin
+        append_entry t e;
+        trace_proposed t e
+      end)
     t.buffer;
   Queue.clear t.buffer;
   t.role <- Leader_accept;
@@ -572,17 +590,21 @@ let handle t ~src msg =
    AIMD: it doubles towards [max_batch] while flushes run at capacity and
    halves towards [min_batch] once the backlog drains, so frame sizes track
    the offered load. *)
-let do_flush t =
+let do_flush t ~trigger =
   let b = t.batching in
   let cap = if b.Batching.adaptive then t.batch_cap else b.Batching.max_batch in
   let len = Log.length t.dur.log in
   let max_lag = ref 0 in
+  let sent_entries = ref 0 in
+  let sent_followers = ref 0 in
   Replog.Det.iter_sorted ~compare_key:Int.compare
     (fun f () ->
       let from = Option.value (Hashtbl.find_opt t.sent_idx f) ~default:len in
       if from < len then begin
         max_lag := max !max_lag (len - from);
         let count = min cap (len - from) in
+        sent_entries := !sent_entries + count;
+        incr sent_followers;
         if Obs.Trace.on () then
           Obs.Trace.emit ~node:t.id
             (Obs.Event.Accept_sent
@@ -602,11 +624,24 @@ let do_flush t =
         Hashtbl.replace t.sent_idx f (from + count)
       end)
     t.synced;
+  if !sent_followers > 0 && Obs.Trace.on () then
+    Obs.Trace.emit ~node:t.id
+      (Obs.Event.Batch_flush
+         {
+           entries = !sent_entries;
+           followers = !sent_followers;
+           cap;
+           trigger;
+         });
   if b.Batching.adaptive then begin
+    let before = t.batch_cap in
     if !max_lag >= t.batch_cap then
       t.batch_cap <- min b.Batching.max_batch (2 * t.batch_cap)
     else if 2 * !max_lag <= t.batch_cap then
-      t.batch_cap <- max b.Batching.min_batch (t.batch_cap / 2)
+      t.batch_cap <- max b.Batching.min_batch (t.batch_cap / 2);
+    if t.batch_cap <> before && Obs.Trace.on () then
+      Obs.Trace.emit ~node:t.id
+        (Obs.Event.Cap_change { cap_from = before; cap_to = t.batch_cap })
   end;
   t.unflushed <- 0;
   t.ticks_since_flush <- 0;
@@ -642,12 +677,13 @@ let propose t entry =
       if Option.is_some t.ss_idx then false
       else begin
         append_entry t entry;
+        trace_proposed t entry;
         t.unflushed <- t.unflushed + 1;
         (* Size trigger: under the adaptive policy a burst is flushed as
            soon as it fills the current batch cap, without waiting for the
            tick deadline. *)
         if t.batching.Batching.adaptive && t.unflushed >= t.batch_cap then
-          do_flush t;
+          do_flush t ~trigger:"size";
         true
       end
 
@@ -655,7 +691,7 @@ let flush t =
   if role_is_leader_accept t.role then begin
     t.ticks_since_flush <- t.ticks_since_flush + 1;
     if t.ticks_since_flush >= t.batching.Batching.deadline_ticks then
-      do_flush t
+      do_flush t ~trigger:"deadline"
   end
   else flush_acks t
 

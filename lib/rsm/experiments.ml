@@ -511,6 +511,7 @@ let table1 ?(seeds = [ 1; 2 ]) ?(partition_ms = 30_000.0) ?(cp = 50) () =
 type traced_run = {
   tr_kind : scenario_kind;
   tr_events : Obs.Event.t list;
+  tr_dropped : int;  (* ring-overflow losses during recording *)
   tr_downtime_ms : float;
   tr_decided : int;
 }
@@ -530,17 +531,181 @@ let traced_scenarios ?(pr = omni_runner) ?(seed = 1) ?(n = 5)
           election_timeout_ms = timeout_ms;
         }
       in
-      let (downtime, decided, _), events =
+      let (downtime, decided, _), recording =
         Obs.Trace.with_recording (fun () ->
             pr.pr_partition cfg ~kind ~partition_ms ~cp)
       in
       {
         tr_kind = kind;
-        tr_events = events;
+        tr_events = recording.Obs.Trace.events;
+        tr_dropped = recording.Obs.Trace.dropped;
         tr_downtime_ms = downtime;
         tr_decided = decided;
       })
     [ Quorum_loss; Constrained; Chained ]
+
+(* ------------------------------------------------------------------ *)
+(* Recovery latency (health-monitor methodology; EXPERIMENTS.md)       *)
+(* ------------------------------------------------------------------ *)
+
+type recovery_point = {
+  rl_protocol : string;
+  rl_timeout_ms : float;
+  rl_detect_ms : float option;
+      (** fault to the first leadership reaction anywhere in the cluster
+          (ballot increment, prepare round, or an observed leader change) *)
+  rl_first_decide_ms : float option;
+      (** health monitor: fault to the first post-fault advance of the
+          cluster-wide decided index *)
+  rl_reelect_ms : float option;
+      (** fault to the first decide under a ballot other than the pre-fault
+          leader's — the moment the cluster has re-elected and resumed
+          deciding under the new leader *)
+  rl_stall_ms : float;
+      (** longest gap between advances of the cluster-wide decided index
+          during the partition (from the trace's [Decided] events) — the
+          protocol-level re-election stall, free of client poll/retry
+          quantisation *)
+  rl_stall_timeouts : float;  (** [rl_stall_ms] in election timeouts *)
+  rl_within_4 : bool;
+      (** the paper's yardstick: recovered within 4 election timeouts of
+          the fault — re-elected and deciding ([rl_reelect_ms]) in time,
+          or never stalled longer than that (no re-election needed) *)
+  rl_leader_changes : int;
+}
+
+(* Longest gap between consecutive advances of the global decided index
+   within [\[from_, until_\]]; advances outside the window only move the
+   baseline. The tail gap (last advance to [until_]) counts, so a
+   deadlocked run scores the whole window. *)
+let decided_stall_ms events ~from_ ~until_ =
+  let last = ref from_ and best = ref 0.0 and max_idx = ref (-1) in
+  List.iter
+    (fun (e : Obs.Event.t) ->
+      match e.kind with
+      | Obs.Event.Decided { decided_idx; _ } when decided_idx > !max_idx ->
+          max_idx := decided_idx;
+          if e.time >= from_ && e.time <= until_ then begin
+            best := Float.max !best (e.time -. !last);
+            last := e.time
+          end
+      | _ [@lint.allow "D4"] -> ())
+    events;
+  Float.max !best (until_ -. !last)
+
+(** Fault-to-recovery latency in the chained scenario, per protocol: record
+    a run, replay its event stream through the online health monitor for
+    the fault-to-first-decide episode, scan it for the first leadership
+    reaction after the cut, and take the longest decided-advance gap as the
+    re-election stall. One seeded run per protocol — the recording is the
+    measurement, so the numbers are deterministic and regression-gated
+    (bench section "recovery"). *)
+let recovery_latency ?(protocols = all_protocols) ?(seed = 1)
+    ?(timeout_ms = 50.0) ?(partition_ms = 2_000.0) ?(cp = 50) () =
+  List.map
+    (fun pr ->
+      let cfg =
+        {
+          Cluster.default_config with
+          n = 3;
+          seed;
+          election_timeout_ms = timeout_ms;
+        }
+      in
+      let (_client_gap_ms, _decided, leader_changes), recording =
+        Obs.Trace.with_recording (fun () ->
+            pr.pr_partition cfg ~kind:Chained ~partition_ms ~cp)
+      in
+      let events = recording.Obs.Trace.events in
+      let fault_at =
+        List.find_map
+          (fun (e : Obs.Event.t) ->
+            match e.kind with
+            | Obs.Event.Link_cut _ | Obs.Event.Crashed -> Some e.time
+            | _ [@lint.allow "D4"] -> None)
+          events
+      in
+      let detect_ms =
+        match fault_at with
+        | None -> None
+        | Some f ->
+            List.find_map
+              (fun (e : Obs.Event.t) ->
+                if e.time <= f then None
+                else
+                  match e.kind with
+                  | Obs.Event.Ballot_increment _ | Obs.Event.Prepare_round _
+                  | Obs.Event.Leader_elected _ | Obs.Event.Leader_changed _
+                    ->
+                      Some (e.time -. f)
+                  | _ [@lint.allow "D4"] -> None)
+              events
+      in
+      let monitor =
+        Obs.Health.run
+          (Obs.Health.default_config ~n:cfg.Cluster.n
+             ~election_timeout_ms:timeout_ms)
+          events
+      in
+      let first_decide_ms =
+        match Obs.Health.recoveries monitor with
+        | r :: _ -> Obs.Health.recovery_latency r
+        | [] -> None
+      in
+      let stall_ms =
+        match fault_at with
+        | Some f -> decided_stall_ms events ~from_:f ~until_:(f +. partition_ms)
+        | None -> partition_ms
+      in
+      let ballot_equal (a : Obs.Event.ballot) (b : Obs.Event.ballot) =
+        a.Obs.Event.n = b.Obs.Event.n
+        && a.Obs.Event.prio = b.Obs.Event.prio
+        && a.Obs.Event.pid = b.Obs.Event.pid
+      in
+      let reelect_ms =
+        match fault_at with
+        | None -> None
+        | Some f ->
+            (* Ballot in force when the fault hit: the last decide before
+               it. A decide under any other ballot afterwards means a new
+               leader won Prepare and is deciding. *)
+            let pre =
+              List.fold_left
+                (fun acc (e : Obs.Event.t) ->
+                  match e.kind with
+                  | Obs.Event.Decided { b; _ } when e.time <= f -> Some b
+                  | _ [@lint.allow "D4"] -> acc)
+                None events
+            in
+            List.find_map
+              (fun (e : Obs.Event.t) ->
+                if e.time <= f then None
+                else
+                  match e.kind with
+                  | Obs.Event.Decided { b; _ }
+                    when not
+                           (match pre with
+                           | Some p -> ballot_equal p b
+                           | None -> false) ->
+                      Some (e.time -. f)
+                  | _ [@lint.allow "D4"] -> None)
+              events
+      in
+      {
+        rl_protocol = pr.pr_name;
+        rl_timeout_ms = timeout_ms;
+        rl_detect_ms = detect_ms;
+        rl_first_decide_ms = first_decide_ms;
+        rl_reelect_ms = reelect_ms;
+        rl_stall_ms = stall_ms;
+        rl_stall_timeouts = stall_ms /. timeout_ms;
+        rl_within_4 =
+          (match reelect_ms with
+          | Some v -> v <= 4.0 *. timeout_ms
+          | None -> stall_ms <= 4.0 *. timeout_ms);
+        rl_leader_changes = leader_changes;
+      })
+    protocols
 
 (* ------------------------------------------------------------------ *)
 (* Ablations of the design choices called out in DESIGN.md             *)

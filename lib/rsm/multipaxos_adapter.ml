@@ -67,7 +67,16 @@ let session_reset t ~peer = N.session_reset t.node ~peer
    persistence — a crash is a pause plus lost in-flight traffic, not an
    amnesia restart (which would forget Phase-1 promises and break safety). *)
 let restart _t = ()
-let propose t cmd = N.propose t.node cmd
+
+(* Mirror of the Sequence Paxos [Proposed] emit: span assembly needs the
+   leader-append moment for every protocol, not just Omni-Paxos. *)
+let propose t cmd =
+  let ok = N.propose t.node cmd in
+  if ok && Obs.Trace.on () then
+    Obs.Trace.emit ~node:t.id
+      (Obs.Event.Proposed
+         { log_idx = N.next_slot t.node - 1; cmd_id = cmd.Replog.Command.id });
+  ok
 let is_leader t = N.is_leader t.node
 let leader_pid t = N.leader_pid t.node
 let decided_count t = Protocol.Decided_cache.count t.cache

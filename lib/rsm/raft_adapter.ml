@@ -78,7 +78,19 @@ module Plain = struct
      [N.recover] resets the volatile role/leader/commit-index view, which is
      re-learned from the next leader's appends. *)
   let restart t = N.recover t.node
-  let propose t cmd = N.propose t.node cmd
+
+  (* Mirror of the Sequence Paxos [Proposed] emit: span assembly needs the
+     leader-append moment for every protocol, not just Omni-Paxos. *)
+  let propose t cmd =
+    let ok = N.propose t.node cmd in
+    if ok && Obs.Trace.on () then
+      Obs.Trace.emit ~node:t.id
+        (Obs.Event.Proposed
+           {
+             log_idx = N.log_length t.node - 1;
+             cmd_id = cmd.Replog.Command.id;
+           });
+    ok
   let is_leader t = N.is_leader t.node
   let leader_pid t = N.leader_pid t.node
   let decided_count t = Protocol.Decided_cache.count t.cache

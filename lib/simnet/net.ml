@@ -4,11 +4,21 @@ type 'm pending = {
   p_msg : 'm;
   p_session : int;
   p_size : int;
+  p_send_id : int;
+  p_lc : int;
   mutable p_remaining : int;
 }
 
 type 'm event =
-  | Deliver of { src : int; dst : int; session : int; size : int; msg : 'm }
+  | Deliver of {
+      src : int;
+      dst : int;
+      session : int;
+      size : int;
+      send_id : int;
+      lc : int;
+      msg : 'm;
+    }
   | Timer of (unit -> unit)
   | Session_reset of { node : int; peer : int; session : int }
   | Egress_step of { src : int; gen : int; completed : 'm pending option }
@@ -42,6 +52,12 @@ type 'm t = {
   sent_bytes : int array;
   sent_bytes_to : int array array;
   sent_msgs : int array;
+  (* Causal metadata: a per-node Lamport clock (ticked on every send and
+     merged on every delivery) and a network-unique id per transmission.
+     Maintained unconditionally — it is a handful of integer ops, so the
+     traced and untraced executions stay byte-identical. *)
+  lamport : int array;
+  mutable next_send_id : int;
   mutable delivered : int;
   delivered_msgs : int array;  (* per receiving node *)
   delivered_bytes : int array;  (* per receiving node *)
@@ -74,6 +90,8 @@ let create ?(seed = 42) ?(latency = 0.1) ?(egress_bw = infinity)
     sent_bytes = Array.make n 0;
     sent_bytes_to = Array.make_matrix n n 0;
     sent_msgs = Array.make n 0;
+      lamport = Array.make n 0;
+      next_send_id = 0;
       delivered = 0;
       delivered_msgs = Array.make n 0;
       delivered_bytes = Array.make n 0;
@@ -106,12 +124,12 @@ let schedule t ~delay f =
 
 let pair_connected t a b = t.up.(a).(b) && t.up.(b).(a)
 
-let schedule_delivery t ~src ~dst ~session ~size msg =
+let schedule_delivery t ~src ~dst ~session ~size ~send_id ~lc msg =
   let arrival = t.clock +. t.latency.(src).(dst) in
   let arrival = Float.max arrival t.last_delivery.(src).(dst) in
   t.last_delivery.(src).(dst) <- arrival;
   Event_heap.push t.events ~time:arrival
-    (Deliver { src; dst; session; size; msg })
+    (Deliver { src; dst; session; size; send_id; lc; msg })
 
 (* Transmit the next chunk of the round-robin schedule. Must be called with
    the sender idle at the current clock. *)
@@ -148,14 +166,18 @@ let send t ~src ~dst ~size msg =
   if src = dst then invalid_arg "Net.send: src = dst";
   if t.node_up.(src) && t.up.(src).(dst) then begin
     t.sent_msgs.(src) <- t.sent_msgs.(src) + 1;
+    let send_id = t.next_send_id in
+    t.next_send_id <- send_id + 1;
+    let lc = t.lamport.(src) + 1 in
+    t.lamport.(src) <- lc;
     if Obs.Trace.on () then
       Obs.Trace.emit_at ~time:t.clock ~node:src
-        (Obs.Event.Msg_send { dst; size });
+        (Obs.Event.Msg_send { dst; size; send_id; lc });
     let session = t.session.(src).(dst) in
     if t.egress_bw = infinity then begin
       t.sent_bytes.(src) <- t.sent_bytes.(src) + size;
       t.sent_bytes_to.(src).(dst) <- t.sent_bytes_to.(src).(dst) + size;
-      schedule_delivery t ~src ~dst ~session ~size msg
+      schedule_delivery t ~src ~dst ~session ~size ~send_id ~lc msg
     end
     else begin
       Queue.add
@@ -164,6 +186,8 @@ let send t ~src ~dst ~size msg =
           p_msg = msg;
           p_session = session;
           p_size = size;
+          p_send_id = send_id;
+          p_lc = lc;
           p_remaining = size;
         }
         t.egress_queues.(src).(dst);
@@ -177,6 +201,8 @@ let send t ~src ~dst ~size msg =
            src;
            dst;
            reason = (if t.node_up.(src) then "link-down" else "src-down");
+           session = t.session.(src).(dst);
+           send_id = -1;
          })
 
 let bump_session t a b =
@@ -318,7 +344,7 @@ let is_up t i =
 let dispatch t event =
   match event with
   | Timer f -> f ()
-  | Deliver { src; dst; session; size; msg } ->
+  | Deliver { src; dst; session; size; send_id; lc; msg } ->
       if
         t.node_up.(dst) && t.node_up.(src) && t.up.(src).(dst)
         && session = t.session.(src).(dst)
@@ -329,9 +355,13 @@ let dispatch t event =
             t.delivered_msgs.(dst) <- t.delivered_msgs.(dst) + 1;
             t.delivered_bytes.(dst) <- t.delivered_bytes.(dst) + size;
             t.delivered_bytes_total <- t.delivered_bytes_total + size;
+            (* Lamport merge: the receipt happens-after both the local past
+               and the send. *)
+            let rlc = 1 + max t.lamport.(dst) lc in
+            t.lamport.(dst) <- rlc;
             if Obs.Trace.on () then
               Obs.Trace.emit_at ~time:t.clock ~node:dst
-                (Obs.Event.Msg_deliver { src; size });
+                (Obs.Event.Msg_deliver { src; size; send_id; lc = rlc });
             h ~src msg
         | None -> ()
       end
@@ -343,7 +373,7 @@ let dispatch t event =
           else "stale-session"
         in
         Obs.Trace.emit_at ~time:t.clock ~node:dst
-          (Obs.Event.Msg_drop { src; dst; reason })
+          (Obs.Event.Msg_drop { src; dst; reason; session; send_id })
       end
   | Session_reset { node; peer; session } ->
       if t.node_up.(node) && session = t.session.(node).(peer) then begin
@@ -356,7 +386,8 @@ let dispatch t event =
         (match completed with
         | Some item ->
             schedule_delivery t ~src ~dst:item.p_dst ~session:item.p_session
-              ~size:item.p_size item.p_msg
+              ~size:item.p_size ~send_id:item.p_send_id ~lc:item.p_lc
+              item.p_msg
         | None -> ());
         pump_egress t src
       end

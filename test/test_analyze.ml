@@ -1,0 +1,39 @@
+(* Analyzer golden test: record one chained-scenario Omni-Paxos run (fixed
+   seed, so the simulation — and therefore the trace — is bit-identical on
+   every machine), analyze it, and expect-diff the rendered report against
+   test/analyze_smoke.expected.
+
+   This pins the whole analysis pipeline end to end: event schema, causal
+   pairing, span assembly, stall windows, health detectors and the report
+   renderers. The final line double-renders the report (text and JSON) and
+   asserts byte equality, so the determinism contract of Obs.Analyze is
+   exercised on every [dune runtest]. *)
+
+module E = Rsm.Experiments
+
+let () =
+  let cfg =
+    {
+      Rsm.Cluster.default_config with
+      n = 3;
+      seed = 7;
+      election_timeout_ms = 50.0;
+    }
+  in
+  let _, recording =
+    Obs.Trace.with_recording (fun () ->
+        E.omni_runner.E.pr_partition cfg ~kind:E.Chained ~partition_ms:800.0
+          ~cp:10)
+  in
+  let analyze () =
+    Obs.Analyze.run ~ring_dropped:recording.Obs.Trace.dropped
+      recording.Obs.Trace.events
+  in
+  let report = analyze () in
+  print_string (Obs.Analyze.to_string report);
+  let again = analyze () in
+  Printf.printf "deterministic: %b\n"
+    (String.equal (Obs.Analyze.to_string report) (Obs.Analyze.to_string again)
+    && String.equal
+         (Bench_report.Json.to_string (Obs.Analyze.to_json report))
+         (Bench_report.Json.to_string (Obs.Analyze.to_json again)))

@@ -145,11 +145,11 @@ let test_traced_episode_determinism () =
   let cfg = { Chaos.Campaign.default_config with steps = 8 } in
   let schedule = Omni_campaign.schedule_of_seed cfg ~seed:11 in
   let record () =
-    let _, events =
+    let _, recording =
       Obs.Trace.with_recording (fun () ->
           Omni_campaign.run_schedule cfg ~seed:11 ~schedule)
     in
-    List.map Obs.Event.to_json events
+    List.map Obs.Event.to_json recording.Obs.Trace.events
   in
   let a = record () and b = record () in
   check_int "same number of events" (List.length a) (List.length b);

@@ -8,6 +8,9 @@ module Trace = Obs.Trace
 module Event = Obs.Event
 module Metric = Obs.Metric
 module Invariant = Obs.Invariant
+module Causal = Obs.Causal
+module Span = Obs.Span
+module Health = Obs.Health
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -54,6 +57,7 @@ let test_ring_invalid_capacity () =
 (* ---------------- tracer ---------------- *)
 
 let ev ?(time = 1.0) ?(node = 0) kind = { Event.time; node; kind }
+let b1 = { Event.n = 5; prio = 0; pid = 1 }
 
 let test_sink_fanout () =
   let a = ref [] and b = ref [] in
@@ -83,7 +87,7 @@ let test_sink_fanout () =
 
 let test_with_recording () =
   Trace.set_enabled false;
-  let v, events =
+  let v, { Trace.events; dropped } =
     Trace.with_recording (fun () ->
         Trace.emit_at ~time:1.0 ~node:2
           (Event.Session_drop { peer = 0; session = 1 });
@@ -93,18 +97,21 @@ let test_with_recording () =
   in
   check_int "returns the function's result" 17 v;
   check_int "recorded both events" 2 (List.length events);
+  check_int "complete recording reports no drops" 0 dropped;
   check "oldest first" true
     ((List.hd events).Event.kind = Event.Session_drop { peer = 0; session = 1 });
   check "tracer state restored" false (Trace.is_enabled ());
-  (* The bounded ring drops the oldest events of an over-long run. *)
-  let (), events =
+  (* The bounded ring drops the oldest events of an over-long run — and
+     says so, instead of passing the truncation off as a complete trace. *)
+  let (), { Trace.events; dropped } =
     Trace.with_recording ~capacity:3 (fun () ->
         for i = 1 to 5 do
           Trace.emit_at ~time:(float_of_int i) ~node:0 Event.Crashed
         done)
   in
   check "over-capacity run keeps the newest" true
-    (List.map (fun (e : Event.t) -> e.time) events = [ 3.0; 4.0; 5.0 ])
+    (List.map (fun (e : Event.t) -> e.time) events = [ 3.0; 4.0; 5.0 ]);
+  check_int "overflow is counted" 2 dropped
 
 let test_event_json () =
   let b = { Event.n = 3; prio = 1; pid = 2 } in
@@ -115,10 +122,14 @@ let test_event_json () =
     (j = {|{"t":12.500,"node":1,"kind":"decide","ballot":{"n":3,"prio":1,"pid":2},"decided_idx":7}|});
   let j =
     Event.to_json
-      (ev (Event.Msg_drop { src = 0; dst = 1; reason = "link-down" }))
+      (ev
+         (Event.Msg_drop
+            { src = 0; dst = 1; reason = "link-down"; session = 4; send_id = 9 }))
   in
-  check "drop json has reason" true
-    (j = {|{"t":1.000,"node":0,"kind":"drop","src":0,"dst":1,"reason":"link-down"}|});
+  check "drop json has reason, session and send_id" true
+    (j
+    = {|{"t":1.000,"node":0,"kind":"drop","src":0,"dst":1,"reason":"link-down","session":4,"send_id":9}|}
+    );
   (* Strings are escaped defensively. *)
   let contains s sub =
     let n = String.length s and m = String.length sub in
@@ -188,9 +199,317 @@ let test_registry () =
   check_int "clear resets" 0
     (Metric.Counter.value (Metric.Registry.counter r "decides"))
 
-(* ---------------- invariants ---------------- *)
+let test_event_json_roundtrip () =
+  let b = { Event.n = 2; prio = 1; pid = 0 } in
+  let samples =
+    [
+      ev (Event.Ballot_increment b);
+      ev (Event.Leader_elected b);
+      ev (Event.Leader_changed b);
+      ev (Event.Prepare_round { b; log_idx = 3; decided_idx = 2 });
+      ev (Event.Promise_sent { b; log_idx = 3; decided_idx = 2 });
+      ev (Event.Accept_sent { b; start_idx = 1; count = 4 });
+      ev (Event.Accepted_idx { b; log_idx = 5 });
+      ev (Event.Decided { b; decided_idx = 5 });
+      ev (Event.Proposed { log_idx = 7; cmd_id = 42 });
+      ev
+        (Event.Batch_flush
+           { entries = 3; followers = 2; cap = 64; trigger = "size" });
+      ev (Event.Cap_change { cap_from = 64; cap_to = 128 });
+      ev (Event.Session_drop { peer = 1; session = 2 });
+      ev (Event.Session_up { peer = 1; session = 3 });
+      ev (Event.Link_cut { a = 0; b = 1 });
+      ev (Event.Link_heal { a = 0; b = 1 });
+      ev Event.Crashed;
+      ev Event.Recovered;
+      ev (Event.Reconfig { config_id = 1; milestone = "migration-done" });
+      ev (Event.Msg_send { dst = 1; size = 100; send_id = 7; lc = 3 });
+      ev (Event.Msg_deliver { src = 0; size = 100; send_id = 7; lc = 4 });
+      ev
+        (Event.Msg_drop
+           { src = 0; dst = 1; reason = "link-down"; session = 2; send_id = 8 });
+      ev (Event.Chaos_fault { step = 2; fault = "crash(1)" });
+      ev (Event.Chaos_invoke { client = 0; op_id = 5; op = "put k 1" });
+      ev (Event.Chaos_response { client = 0; op_id = 5; result = "ok" });
+    ]
+  in
+  List.iter
+    (fun e ->
+      match Event.of_json (Event.to_json e) with
+      | Ok e' -> check (Event.kind_name e.Event.kind) true (e = e')
+      | Error msg ->
+          Alcotest.failf "of_json failed for %s: %s"
+            (Event.kind_name e.Event.kind)
+            msg)
+    samples;
+  check "malformed json rejected" true (Result.is_error (Event.of_json "{"));
+  check "unknown kind rejected" true
+    (Result.is_error (Event.of_json {|{"t":1.0,"node":0,"kind":"nope"}|}))
 
-let b1 = { Event.n = 5; prio = 0; pid = 1 }
+(* ---------------- causal pairing ---------------- *)
+
+let test_causal_pair () =
+  let tr =
+    [
+      ev ~time:1.0 ~node:0
+        (Event.Msg_send { dst = 1; size = 10; send_id = 0; lc = 1 });
+      ev ~time:1.5 ~node:1
+        (Event.Msg_deliver { src = 0; size = 10; send_id = 0; lc = 2 });
+      (* Sent but never delivered. *)
+      ev ~time:2.0 ~node:0
+        (Event.Msg_send { dst = 1; size = 5; send_id = 1; lc = 3 });
+      (* Delivered without a recorded send (ring overflow evidence). *)
+      ev ~time:3.0 ~node:1
+        (Event.Msg_deliver { src = 0; size = 9; send_id = 99; lc = 9 });
+    ]
+  in
+  let edges, stats = Causal.pair tr in
+  check_int "one matched edge" 1 (List.length edges);
+  let e = List.hd edges in
+  check "edge endpoints" true
+    (e.Causal.src = 0 && e.Causal.dst = 1 && e.Causal.send_id = 0);
+  check "edge times" true
+    (e.Causal.sent_at = 1.0 && e.Causal.delivered_at = 1.5);
+  check_int "unmatched send counted" 1 stats.Causal.unmatched_sends;
+  check_int "orphan deliver counted" 1 stats.Causal.orphan_delivers;
+  check "clocks consistent" true (Causal.lamport_consistent tr = Ok ())
+
+let test_lamport_violation () =
+  let tr =
+    [
+      ev ~time:1.0 ~node:0
+        (Event.Msg_send { dst = 1; size = 10; send_id = 0; lc = 5 });
+      (* Delivery clock must exceed the send clock. *)
+      ev ~time:1.5 ~node:1
+        (Event.Msg_deliver { src = 0; size = 10; send_id = 0; lc = 5 });
+    ]
+  in
+  check "non-increasing delivery clock detected" true
+    (Result.is_error (Causal.lamport_consistent tr));
+  let tr =
+    [
+      ev ~time:1.0 ~node:0
+        (Event.Msg_send { dst = 1; size = 10; send_id = 0; lc = 5 });
+      (* A node's own message clocks must strictly increase. *)
+      ev ~time:2.0 ~node:0
+        (Event.Msg_send { dst = 1; size = 10; send_id = 1; lc = 5 });
+    ]
+  in
+  check "stuck sender clock detected" true
+    (Result.is_error (Causal.lamport_consistent tr))
+
+let test_critical_path () =
+  let arr =
+    [|
+      ev ~time:1.0 ~node:0 (Event.Proposed { log_idx = 0; cmd_id = 0 });
+      ev ~time:2.0 ~node:0
+        (Event.Msg_send { dst = 1; size = 10; send_id = 0; lc = 1 });
+      ev ~time:2.5 ~node:1
+        (Event.Msg_deliver { src = 0; size = 10; send_id = 0; lc = 2 });
+      ev ~time:3.0 ~node:1 (Event.Accepted_idx { b = b1; log_idx = 1 });
+    |]
+  in
+  let stop (e : Event.t) =
+    match e.Event.kind with
+    | Event.Proposed _ -> true
+    | _ -> false
+  in
+  (* Walk back from the follower ack: ack -> its delivery -> the matching
+     send on the other node -> the leader's previous event (the stop). *)
+  check "hops cross the network edge" true
+    (Causal.critical_path arr ~target:3 ~stop = [ 0; 1; 2; 3 ]);
+  (* max_len bounds the number of hops, so at most max_len + 1 indices. *)
+  check "bounded walk" true
+    (Causal.critical_path ~max_len:1 arr ~target:3 ~stop = [ 2; 3 ])
+
+(* ---------------- span assembly ---------------- *)
+
+let test_span_assembly () =
+  let b = { Event.n = 1; prio = 0; pid = 2 } in
+  let tr =
+    [
+      ev ~time:1.0 ~node:2 (Event.Proposed { log_idx = 0; cmd_id = 10 });
+      ev ~time:2.0 ~node:2 (Event.Accept_sent { b; start_idx = 0; count = 1 });
+      ev ~time:3.0 ~node:0 (Event.Accepted_idx { b; log_idx = 1 });
+      ev ~time:4.0 ~node:2 (Event.Decided { b; decided_idx = 1 });
+    ]
+  in
+  let spans = Span.assemble ~n:3 tr in
+  check_int "one span" 1 (List.length spans);
+  let s = List.hd spans in
+  check_int "log idx" 0 s.Span.log_idx;
+  check_int "cmd id" 10 s.Span.cmd_id;
+  check_int "leader is the proposing node" 2 s.Span.leader;
+  check "proposed at" true (s.Span.proposed_at = 1.0);
+  check "first accept" true (s.Span.first_accept_at = Some 2.0);
+  (* n=3: quorum 2, so one non-leader ack completes the quorum. *)
+  check "quorum ack" true (s.Span.quorum_ack_at = Some 3.0);
+  check "decided" true (s.Span.decided_at = Some 4.0);
+  check "total" true (Span.total s = Some 3.0);
+  check "queueing" true (Span.queueing s = Some 1.0);
+  check "replication" true (Span.replication s = Some 1.0);
+  check "commit" true (Span.commit s = Some 1.0)
+
+let test_span_undecided_and_reproposal () =
+  let tr =
+    [
+      ev ~time:1.0 ~node:2 (Event.Proposed { log_idx = 0; cmd_id = 1 });
+      (* Leader change: the same index is re-proposed by another node. *)
+      ev ~time:2.0 ~node:1 (Event.Proposed { log_idx = 0; cmd_id = 2 });
+    ]
+  in
+  let spans = Span.assemble ~n:3 tr in
+  check_int "re-proposal replaces, not duplicates" 1 (List.length spans);
+  let s = List.hd spans in
+  check_int "latest proposer wins" 1 s.Span.leader;
+  check_int "latest command wins" 2 s.Span.cmd_id;
+  check "never decided" true (s.Span.decided_at = None);
+  check "no total without decide" true (Span.total s = None)
+
+let test_span_invoke_applied () =
+  let b = { Event.n = 1; prio = 0; pid = 0 } in
+  let tr =
+    [
+      ev ~time:0.5 ~node:0
+        (Event.Chaos_invoke { client = 1; op_id = 10; op = "put k 1" });
+      ev ~time:1.0 ~node:0 (Event.Proposed { log_idx = 0; cmd_id = 10 });
+      ev ~time:2.0 ~node:0 (Event.Accept_sent { b; start_idx = 0; count = 1 });
+      ev ~time:3.0 ~node:1 (Event.Accepted_idx { b; log_idx = 1 });
+      ev ~time:4.0 ~node:0 (Event.Decided { b; decided_idx = 1 });
+      ev ~time:5.0 ~node:0
+        (Event.Chaos_response { client = 1; op_id = 10; result = "ok" });
+    ]
+  in
+  let s = List.hd (Span.assemble ~n:3 tr) in
+  check "invoke matched by cmd id" true (s.Span.invoke_at = Some 0.5);
+  check "applied matched by cmd id" true (s.Span.applied_at = Some 5.0)
+
+(* ---------------- health detectors ---------------- *)
+
+let hcfg =
+  {
+    Health.n = 3;
+    stall_ms = 100.0;
+    churn_window_ms = 1000.0;
+    churn_threshold = 2;
+    suspect_after = 2;
+  }
+
+let db idx = Event.Decided { b = b1; decided_idx = idx }
+
+let has_alert h ~edge ~substr =
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  List.exists
+    (fun (a : Health.alert) -> a.edge = edge && contains a.what substr)
+    (Health.alerts h)
+
+let test_health_stall_edges () =
+  let h =
+    Health.run hcfg
+      [
+        ev ~time:0.0 ~node:0 (db 1);
+        (* Quiet period beyond stall_ms: any event drives the watchdog. *)
+        ev ~time:150.0 ~node:0 (Event.Session_up { peer = 1; session = 1 });
+        ev ~time:160.0 ~node:0 (db 2);
+      ]
+  in
+  check "stall triggered" true (has_alert h ~edge:Health.Trigger ~substr:"stall");
+  check "stall cleared by the next decide" true
+    (has_alert h ~edge:Health.Clear ~substr:"stall");
+  (* No trigger when decides keep flowing. *)
+  let h =
+    Health.run hcfg [ ev ~time:0.0 ~node:0 (db 1); ev ~time:50.0 ~node:0 (db 2) ]
+  in
+  check "no stall under steady decides" false
+    (has_alert h ~edge:Health.Trigger ~substr:"stall")
+
+let test_health_churn_edges () =
+  let h =
+    Health.run hcfg
+      [
+        ev ~time:10.0 ~node:0 (Event.Leader_changed b1);
+        ev ~time:20.0 ~node:0 (Event.Leader_changed b1);
+        (* Past the window the meter empties and the alert clears. *)
+        ev ~time:2000.0 ~node:0 (db 1);
+      ]
+  in
+  check "churn triggered at the threshold" true
+    (has_alert h ~edge:Health.Trigger ~substr:"churn");
+  check "churn cleared once the window drains" true
+    (has_alert h ~edge:Health.Clear ~substr:"churn");
+  let h = Health.run hcfg [ ev ~time:10.0 ~node:0 (Event.Leader_changed b1) ] in
+  check "single change below threshold" false
+    (has_alert h ~edge:Health.Trigger ~substr:"churn")
+
+let test_health_suspect_edges () =
+  let drop =
+    Event.Msg_drop
+      { src = 0; dst = 1; reason = "link-down"; session = 1; send_id = 1 }
+  in
+  let h =
+    Health.run hcfg [ ev ~time:1.0 ~node:0 drop; ev ~time:2.0 ~node:0 drop ]
+  in
+  check "suspect after consecutive drops" true
+    (has_alert h ~edge:Health.Trigger ~substr:"suspect 0->1");
+  check "pair listed while suspected" true (Health.suspects h = [ (0, 1) ]);
+  let h =
+    Health.run hcfg
+      [
+        ev ~time:1.0 ~node:0 drop;
+        ev ~time:2.0 ~node:0 drop;
+        ev ~time:3.0 ~node:1
+          (Event.Msg_deliver { src = 0; size = 10; send_id = 2; lc = 1 });
+      ]
+  in
+  check "delivery clears the suspicion" true
+    (has_alert h ~edge:Health.Clear ~substr:"suspect 0->1");
+  check "no pairs after clear" true (Health.suspects h = []);
+  (* A single drop between deliveries never reaches the threshold. *)
+  let h =
+    Health.run hcfg
+      [
+        ev ~time:1.0 ~node:0 drop;
+        ev ~time:2.0 ~node:1
+          (Event.Msg_deliver { src = 0; size = 10; send_id = 2; lc = 1 });
+        ev ~time:3.0 ~node:0 drop;
+      ]
+  in
+  check "interleaved drops stay below threshold" false
+    (has_alert h ~edge:Health.Trigger ~substr:"suspect")
+
+let test_health_recovery_episode () =
+  let h =
+    Health.run hcfg
+      [
+        ev ~time:0.0 ~node:0 (db 1);
+        ev ~time:10.0 ~node:1 Event.Crashed;
+        (* Faults in a burst coalesce into one episode. *)
+        ev ~time:12.0 ~node:0 (Event.Link_cut { a = 0; b = 1 });
+        ev ~time:20.0 ~node:2 (Event.Ballot_increment b1);
+        ev ~time:50.0 ~node:2 (db 2);
+      ]
+  in
+  (match Health.recoveries h with
+  | [ r ] ->
+      check "fault time" true (r.Health.fault_at = 10.0);
+      check_int "burst coalesced" 2 r.Health.faults;
+      check "detect latency" true (Health.detect_latency r = Some 10.0);
+      check "recovery latency" true (Health.recovery_latency r = Some 40.0)
+  | rs -> Alcotest.failf "expected one closed episode, got %d" (List.length rs));
+  (* A trace ending mid-episode reports it open (no decide_at). *)
+  let h =
+    Health.run hcfg
+      [ ev ~time:0.0 ~node:0 (db 1); ev ~time:10.0 ~node:1 Event.Crashed ]
+  in
+  (match Health.recoveries h with
+  | [ r ] -> check "open episode has no decide" true (r.Health.decide_at = None)
+  | rs -> Alcotest.failf "expected one open episode, got %d" (List.length rs))
+
+(* ---------------- invariants ---------------- *)
 
 let legit_trace =
   [
@@ -269,5 +588,32 @@ let () =
             test_two_leaders_one_ballot;
           Alcotest.test_case "decided regression" `Quick
             test_decided_regression_detected;
+        ] );
+      ( "causal",
+        [
+          Alcotest.test_case "json round-trip all kinds" `Quick
+            test_event_json_roundtrip;
+          Alcotest.test_case "send/deliver pairing" `Quick test_causal_pair;
+          Alcotest.test_case "lamport violations" `Quick test_lamport_violation;
+          Alcotest.test_case "critical path" `Quick test_critical_path;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "lifecycle milestones" `Quick test_span_assembly;
+          Alcotest.test_case "undecided and re-proposal" `Quick
+            test_span_undecided_and_reproposal;
+          Alcotest.test_case "invoke/applied matching" `Quick
+            test_span_invoke_applied;
+        ] );
+      ( "health",
+        [
+          Alcotest.test_case "stall trigger and clear" `Quick
+            test_health_stall_edges;
+          Alcotest.test_case "churn trigger and clear" `Quick
+            test_health_churn_edges;
+          Alcotest.test_case "suspect trigger and clear" `Quick
+            test_health_suspect_edges;
+          Alcotest.test_case "recovery episodes" `Quick
+            test_health_recovery_episode;
         ] );
     ]

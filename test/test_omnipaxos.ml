@@ -199,7 +199,7 @@ let test_two_disconnected_qc_leaders () =
    across the leader takeover, no two servers ever drive Prepare/Accept under
    the same ballot, and no server's decided index regresses. *)
 let test_quorum_loss_trace_invariants () =
-  let (), events =
+  let (), { Obs.Trace.events; dropped = _ } =
     Obs.Trace.with_recording (fun () ->
         let c = make_cluster ~n:5 () in
         run_ms c 500.0;
@@ -215,7 +215,7 @@ let test_quorum_loss_trace_invariants () =
         ignore (propose_noops c ~first_id:100 ~count:10);
         run_ms c 500.0)
   in
-  check "trace is non-empty" true (events <> []);
+  check "trace is non-empty" true (not (List.is_empty events));
   let has kind =
     List.exists (fun (e : Obs.Event.t) -> Obs.Event.kind_name e.kind = kind)
       events
