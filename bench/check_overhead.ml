@@ -3,85 +3,30 @@
    subscribed" must cost the same as disabled — otherwise `--trace` support
    would tax every benchmark number in this repository.
 
-   The check drives a 3-server Omni-Paxos cluster through a short normal
-   execution (election + replication, every hot path instrumented: BLE
-   heartbeats, accept/decide, simnet send/deliver) twice per trial — tracing
-   off vs. enabled-but-unsubscribed — and fails if the minimum-of-trials CPU
-   time of the guarded path exceeds the baseline by more than 5%.
+   The check drives the shared workload (bench/workload.ml) twice per trial
+   — tracing off vs. enabled-but-unsubscribed — and fails if the
+   minimum-of-trials CPU time of the guarded path exceeds the baseline by
+   more than 5%.
 
    Run with: dune build @check-overhead *)
 
-module Net = Simnet.Net
-module R = Omnipaxos.Replica
-
-let n = 3
 let threshold_pct = 5.0
 
-(* One short normal execution; returns the decided index as a checksum so
-   the work cannot be optimised away. *)
-let run_once seed =
-  let net = Net.create ~seed ~latency:0.1 ~num_nodes:n () in
-  let replicas = Array.make n None in
-  for id = 0 to n - 1 do
-    let peers = List.filter (fun j -> j <> id) (List.init n Fun.id) in
-    let send ~dst m = Net.send net ~src:id ~dst ~size:(R.msg_size m) m in
-    let r =
-      R.create ~id ~peers ~hb_ticks:10 ~storage:(R.Storage.create ()) ~send ()
-    in
-    replicas.(id) <- Some r;
-    Net.set_handler net id (fun ~src m -> R.handle r ~src m);
-    Net.set_session_handler net id (fun ~peer -> R.session_reset r ~peer)
-  done;
-  let rec ticks () =
-    Net.schedule net ~delay:5.0 (fun () ->
-        Array.iter (function Some r -> R.tick r | None -> ()) replicas;
-        ticks ())
-  in
-  ticks ();
-  Net.run_for net 500.0;
-  let leader =
-    match
-      List.find_opt
-        (fun id -> R.is_leader (Option.get replicas.(id)))
-        (List.init n Fun.id)
-    with
-    | Some id -> Option.get replicas.(id)
-    | None -> failwith "check_overhead: no leader elected"
-  in
-  for wave = 0 to 9 do
-    for i = 0 to 199 do
-      ignore (R.propose_cmd leader (Replog.Command.noop ((wave * 200) + i)))
-    done;
-    Net.run_for net 100.0
-  done;
-  R.decided_idx leader
-
-let time_reps reps =
-  let t0 = Sys.time () in
-  let acc = ref 0 in
-  for s = 1 to reps do
-    acc := !acc + run_once s
-  done;
-  (Sys.time () -. t0, !acc)
-
 let () =
-  (* Calibrate so each trial takes long enough to dwarf Sys.time's
-     resolution and scheduler noise. *)
-  let t1, _ = time_reps 1 in
-  let reps = max 3 (int_of_float (ceil (0.3 /. Float.max t1 1e-4))) in
+  let reps = Workload.calibrate_reps () in
   let trials = 5 in
   let best_off = ref infinity and best_on = ref infinity in
   let checksum_off = ref 0 and checksum_on = ref 0 in
   for _ = 1 to trials do
     (* Interleave the two modes so drift hits both equally. *)
     Obs.Trace.set_enabled false;
-    let t, c = time_reps reps in
+    let t, c = Workload.time_reps reps in
     best_off := Float.min !best_off t;
     checksum_off := c;
     Obs.Trace.set_enabled true;
     assert (not (Obs.Trace.on ()));
     (* no sink: guard must stay cold *)
-    let t, c = time_reps reps in
+    let t, c = Workload.time_reps reps in
     best_on := Float.min !best_on t;
     checksum_on := c
   done;

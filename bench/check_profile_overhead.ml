@@ -1,0 +1,56 @@
+(* Guards the profiler's cost model, the same way check_overhead.ml guards
+   the tracer's: every wrapped hot site (simnet dispatch, protocol
+   handle/tick, batch flush, trace sink fan-out) is a single guard — one
+   ref load + branch — when no capture is running, and "enabled but no
+   capture started" must cost the same as disabled. Otherwise `opx top`
+   support would tax every benchmark number in this repository.
+
+   The check drives the shared workload (bench/workload.ml) twice per trial
+   — profiler off vs. enabled-but-not-capturing — and fails if the
+   minimum-of-trials CPU time of the guarded path exceeds the baseline by
+   more than 5%.
+
+   Run with: dune build @check-profile-overhead *)
+
+let threshold_pct = 5.0
+
+let () =
+  let reps = Workload.calibrate_reps () in
+  let trials = 5 in
+  let best_off = ref infinity and best_on = ref infinity in
+  let checksum_off = ref 0 and checksum_on = ref 0 in
+  for _ = 1 to trials do
+    (* Interleave the two modes so drift hits both equally. *)
+    Obs.Profile.set_enabled false;
+    let t, c = Workload.time_reps reps in
+    best_off := Float.min !best_off t;
+    checksum_off := c;
+    Obs.Profile.set_enabled true;
+    (* No [Obs.Profile.start]: without a capture the guard must stay cold. *)
+    assert (not (Obs.Profile.on ()));
+    let t, c = Workload.time_reps reps in
+    best_on := Float.min !best_on t;
+    checksum_on := c
+  done;
+  Obs.Profile.set_enabled false;
+  if !checksum_off <> !checksum_on then begin
+    Printf.printf
+      "FAIL: enabling the (idle) profiler changed the simulation (decided \
+       %d vs %d)\n"
+      !checksum_off !checksum_on;
+    exit 1
+  end;
+  let overhead_pct = 100.0 *. ((!best_on /. !best_off) -. 1.0) in
+  Printf.printf
+    "profiler disabled:            %.1f ms (min of %d trials x %d runs)\n\
+     profiler on, no capture:      %.1f ms\n\
+     disabled-path overhead:       %+.2f%% (threshold %.0f%%)\n"
+    (!best_off *. 1000.0) trials reps
+    (!best_on *. 1000.0)
+    overhead_pct threshold_pct;
+  if overhead_pct > threshold_pct then begin
+    Printf.printf "FAIL: the disabled profiler path costs more than %.0f%%\n"
+      threshold_pct;
+    exit 1
+  end;
+  print_string "OK: profiler off costs ~nothing\n"

@@ -701,10 +701,54 @@ let run_recovery ~quick ~print =
   in
   envelope ~section:"recovery" ~seeds ~quick ~rows:(J.List json_rows)
 
+(* ------------------------------------------------------------------ *)
+(* Resource attribution profile                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_profile ~quick ~print =
+  header print
+    "Resource attribution profile (Omni-Paxos, seeded normal run)\n\
+     (where dispatch work goes: calls and sim-time per component; the\n\
+     wall-clock columns are nondeterministic and excluded from the report)";
+  let seeds = [ 1 ] in
+  let duration_ms = if quick then 2_000.0 else 4_000.0 in
+  let cfg = { Rsm.Cluster.default_config with Rsm.Cluster.n = 5; seed = 1 } in
+  let r =
+    Rsm.Top.omni.Rsm.Top.tr_run ~cfg ~cp:100 ~duration_ms ~interval_ms:250.0
+      ()
+  in
+  let flat = Obs.Profile.flat r.Rsm.Top.profile in
+  say print "%-28s %10s %12s\n" "component" "calls" "sim-ms";
+  List.iter
+    (fun (row : Obs.Profile.row) ->
+      say print "%-28s %10d %12.1f\n" row.Obs.Profile.r_label
+        row.Obs.Profile.r_calls row.Obs.Profile.r_sim_ms)
+    flat;
+  (* Sort by label so a tolerated drift in call counts cannot reorder rows
+     and break the positional matching of the compare gate. *)
+  let by_label =
+    List.sort
+      (fun (a : Obs.Profile.row) (b : Obs.Profile.row) ->
+        String.compare a.Obs.Profile.r_label b.Obs.Profile.r_label)
+      flat
+  in
+  let json_rows =
+    List.map
+      (fun (row : Obs.Profile.row) ->
+        J.Obj
+          [
+            ("component", J.String row.Obs.Profile.r_label);
+            ("calls_count", J.Int row.Obs.Profile.r_calls);
+            ("sim_ms", J.float row.Obs.Profile.r_sim_ms);
+          ])
+      by_label
+  in
+  envelope ~section:"profile" ~seeds ~quick ~rows:(J.List json_rows)
+
 let all_names =
   [
     "table1"; "fig7"; "fig8a"; "fig8b"; "fig8c"; "fig9a"; "fig9b"; "fig9c";
-    "ablations"; "policy"; "micro"; "recovery";
+    "ablations"; "policy"; "micro"; "recovery"; "profile";
   ]
 
 let run name ~quick ~print =
@@ -760,4 +804,5 @@ let run name ~quick ~print =
   | "policy" -> Some (run_policy ~quick ~print)
   | "micro" -> Some (run_micro ~quick ~print)
   | "recovery" -> Some (run_recovery ~quick ~print)
+  | "profile" -> Some (run_profile ~quick ~print)
   | _ -> None

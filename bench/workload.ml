@@ -1,0 +1,63 @@
+(* The shared workload of the observability overhead gates
+   (check_overhead.exe for the tracer, check_profile_overhead.exe for the
+   profiler): a short 3-server Omni-Paxos normal execution exercising every
+   instrumented hot path — BLE heartbeats, accept/decide, simnet
+   send/deliver, batch flush. *)
+
+module Net = Simnet.Net
+module R = Omnipaxos.Replica
+
+let n = 3
+
+(* One short normal execution; returns the decided index as a checksum so
+   the work cannot be optimised away. *)
+let run_once seed =
+  let net = Net.create ~seed ~latency:0.1 ~num_nodes:n () in
+  let replicas = Array.make n None in
+  for id = 0 to n - 1 do
+    let peers = List.filter (fun j -> j <> id) (List.init n Fun.id) in
+    let send ~dst m = Net.send net ~src:id ~dst ~size:(R.msg_size m) m in
+    let r =
+      R.create ~id ~peers ~hb_ticks:10 ~storage:(R.Storage.create ()) ~send ()
+    in
+    replicas.(id) <- Some r;
+    Net.set_handler net id (fun ~src m -> R.handle r ~src m);
+    Net.set_session_handler net id (fun ~peer -> R.session_reset r ~peer)
+  done;
+  let rec ticks () =
+    Net.schedule net ~delay:5.0 (fun () ->
+        Array.iter (function Some r -> R.tick r | None -> ()) replicas;
+        ticks ())
+  in
+  ticks ();
+  Net.run_for net 500.0;
+  let leader =
+    match
+      List.find_opt
+        (fun id -> R.is_leader (Option.get replicas.(id)))
+        (List.init n Fun.id)
+    with
+    | Some id -> Option.get replicas.(id)
+    | None -> failwith "bench workload: no leader elected"
+  in
+  for wave = 0 to 9 do
+    for i = 0 to 199 do
+      ignore (R.propose_cmd leader (Replog.Command.noop ((wave * 200) + i)))
+    done;
+    Net.run_for net 100.0
+  done;
+  R.decided_idx leader
+
+let time_reps reps =
+  let t0 = Sys.time () in
+  let acc = ref 0 in
+  for s = 1 to reps do
+    acc := !acc + run_once s
+  done;
+  (Sys.time () -. t0, !acc)
+
+(* Calibrate so each trial takes long enough to dwarf Sys.time's resolution
+   and scheduler noise. *)
+let calibrate_reps () =
+  let t1, _ = time_reps 1 in
+  max 3 (int_of_float (ceil (0.3 /. Float.max t1 1e-4)))

@@ -536,6 +536,185 @@ let chaos_cmd =
     Term.(
       const run $ proto $ episodes $ seed $ servers $ clients $ steps $ trace)
 
+(* ---------------- metrics / top ---------------- *)
+
+module T = Rsm.Top
+
+let top_proto_conv = Arg.enum T.runners
+
+let top_scenario_conv =
+  Arg.enum [ ("normal", T.Normal); ("chained", T.Chained) ]
+
+let servers_arg =
+  Arg.(value & opt int 5 & info [ "servers" ] ~doc:"Cluster size.")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Run seed.")
+
+let cp_arg =
+  Arg.(
+    value & opt int 100
+    & info [ "cp" ] ~doc:"Concurrent proposals kept outstanding.")
+
+let duration_s_arg =
+  Arg.(
+    value & opt int 4 & info [ "duration-s" ] ~doc:"Run length in seconds.")
+
+let interval_ms_arg =
+  Arg.(
+    value & opt int 250
+    & info [ "interval-ms" ] ~doc:"Sampling interval in simulated ms.")
+
+let top_cfg ~servers ~seed =
+  { Rsm.Cluster.default_config with Rsm.Cluster.n = servers; seed }
+
+let metrics_cmd =
+  let run pr servers seed cp duration_s interval_ms snapshots profile
+      profile_json =
+    let cfg = top_cfg ~servers ~seed in
+    let snap_oc = Option.map open_out snapshots in
+    let on_sample =
+      Option.map
+        (fun oc ~time ->
+          output_string oc
+            (Bench_report.Json.to_compact_string
+               (Obs.Metric.Registry.snapshot_json Obs.Metric.Registry.default
+                  ~time));
+          output_char oc '\n')
+        snap_oc
+    in
+    let r =
+      pr.T.tr_run ?on_sample ~cfg ~cp
+        ~duration_ms:(float_of_int duration_s *. 1000.0)
+        ~interval_ms:(float_of_int interval_ms)
+        ()
+    in
+    Option.iter close_out snap_oc;
+    print_string
+      (Obs.Metric.Registry.render_exposition Obs.Metric.Registry.default);
+    (match snapshots with
+    | Some f -> Printf.eprintf "snapshot series written to %s\n" f
+    | None -> ());
+    if profile then print_string (Obs.Profile.to_string r.T.profile);
+    if profile_json then
+      print_endline (Bench_report.Json.to_string (Obs.Profile.to_json r.T.profile))
+  in
+  let proto =
+    Arg.(
+      value & opt top_proto_conv T.omni
+      & info [ "protocol" ]
+          ~doc:"Protocol to run: omni, raft, raft-pvcq, multipaxos or vr.")
+  in
+  let snapshots =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshots" ] ~docv:"FILE"
+          ~doc:
+            "Also write a JSONL time series to $(docv): one registry \
+             snapshot per sampling interval.")
+  in
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:"Also print the attribution profile (text) after the run.")
+  in
+  let profile_json =
+    Arg.(
+      value & flag
+      & info [ "profile-json" ]
+          ~doc:"Also print the attribution profile as JSON after the run.")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run a seeded workload and print every registered metric in \
+          Prometheus-style exposition format; optionally record a JSONL \
+          snapshot series and the resource-attribution profile")
+    Term.(
+      const run $ proto $ servers_arg $ seed_arg $ cp_arg $ duration_s_arg
+      $ interval_ms_arg $ snapshots $ profile $ profile_json)
+
+let top_cmd =
+  let run pr servers seed cp duration_s interval_ms scenario once wall topk =
+    let cfg = top_cfg ~servers ~seed in
+    let duration_ms = float_of_int duration_s *. 1000.0 in
+    let interval_ms = float_of_int interval_ms in
+    if once then begin
+      (* Deterministic snapshot mode for tests: run the same seed twice and
+         report whether the rendered dashboards are byte-identical. *)
+      let go () =
+        (pr.T.tr_run ~wall:false ~top:topk ~scenario ~cfg ~cp ~duration_ms
+           ~interval_ms ())
+          .T.final_frame
+      in
+      let a = go () in
+      let b = go () in
+      print_string a;
+      pf "deterministic: %b\n" (String.equal a b)
+    end
+    else begin
+      let on_frame frame =
+        (* Repaint in place: cursor home + clear-to-end. *)
+        print_string "\027[H\027[J";
+        print_string frame;
+        flush stdout
+      in
+      let r =
+        pr.T.tr_run ~wall ~top:topk ~scenario ~on_frame ~cfg ~cp ~duration_ms
+          ~interval_ms ()
+      in
+      print_string "\027[H\027[J";
+      print_string r.T.final_frame
+    end
+  in
+  let proto =
+    Arg.(
+      value & opt top_proto_conv T.omni
+      & info [ "protocol" ]
+          ~doc:"Protocol to run: omni, raft, raft-pvcq, multipaxos or vr.")
+  in
+  let scenario =
+    Arg.(
+      value & opt top_scenario_conv T.Normal
+      & info [ "scenario" ]
+          ~doc:
+            "normal, or chained (a chain partition over the middle of the \
+             run).")
+  in
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:
+            "Print a single deterministic summary frame instead of live \
+             repaints, run the seed twice, and report $(b,deterministic: \
+             true/false).")
+  in
+  let wall =
+    Arg.(
+      value & flag
+      & info [ "wall" ]
+          ~doc:
+            "Include the nondeterministic wall-clock and allocation columns \
+             in the profiler tables (live mode only).")
+  in
+  let topk =
+    Arg.(
+      value & opt int 8
+      & info [ "top" ] ~doc:"Rows in the profiler top-K table.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live terminal dashboard over a seeded run: throughput and \
+          commit-latency gauges, per-node queue depths, health monitor \
+          status and the profiler's top components; $(b,--once) prints one \
+          deterministic snapshot for tests")
+    Term.(
+      const run $ proto $ servers_arg $ seed_arg $ cp_arg $ duration_s_arg
+      $ interval_ms_arg $ scenario $ once $ wall $ topk)
+
 (* ---------------- mcheck ---------------- *)
 
 let mcheck_cmd =
@@ -590,6 +769,8 @@ let () =
             chained_cmd;
             reconfig_cmd;
             trace_cmd;
+            metrics_cmd;
+            top_cmd;
             chaos_cmd;
             mcheck_cmd;
           ]))

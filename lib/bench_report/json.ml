@@ -82,6 +82,38 @@ let to_string v =
   Buffer.add_char b '\n';
   Buffer.contents b
 
+let rec emit_compact b v =
+  match v with
+  | Null -> Buffer.add_string b "null"
+  | Bool true -> Buffer.add_string b "true"
+  | Bool false -> Buffer.add_string b "false"
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f -> Buffer.add_string b (float_to_string f)
+  | String s -> escape_string b s
+  | List items ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char b ',';
+          emit_compact b item)
+        items;
+      Buffer.add_char b ']'
+  | Obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, item) ->
+          if i > 0 then Buffer.add_char b ',';
+          escape_string b k;
+          Buffer.add_char b ':';
+          emit_compact b item)
+        fields;
+      Buffer.add_char b '}'
+
+let to_compact_string v =
+  let b = Buffer.create 1024 in
+  emit_compact b v;
+  Buffer.contents b
+
 (* ------------------------------------------------------------------ *)
 (* Parsing                                                             *)
 (* ------------------------------------------------------------------ *)

@@ -28,6 +28,10 @@ val to_string : t -> string
 (** Pretty-printed with 2-space indentation and a trailing newline, so the
     files diff well under version control. *)
 
+val to_compact_string : t -> string
+(** One-line rendering (no whitespace, no trailing newline) under the same
+    determinism contract — for JSONL series where each record is a line. *)
+
 val of_string : string -> (t, string) result
 (** Strict parser for the subset [to_string] emits (plus arbitrary
     whitespace): no comments, no trailing commas. Numbers with a [.], [e]

@@ -26,6 +26,7 @@ module Gauge = struct
   let set t x = t.v <- x
   let add t x = t.v <- t.v +. x
   let value t = t.v
+  let reset t = t.v <- 0.0
 end
 
 module Histogram = struct
@@ -59,6 +60,14 @@ module Histogram = struct
   (* Bucket i covers [lower_bound i, upper_bound i). *)
   let lower_bound i = if i = 0 then 0.0 else Float.ldexp 1.0 (i - 1)
   let upper_bound i = Float.ldexp 1.0 i
+
+  let reset t =
+    Array.fill t.buckets 0 nbuckets 0;
+    t.count <- 0;
+    t.sum <- 0.0;
+    t.sumsq <- 0.0;
+    t.minv <- infinity;
+    t.maxv <- neg_infinity
 
   let observe t x =
     let x = Float.max x 0.0 in
@@ -148,37 +157,118 @@ module Registry = struct
     Hashtbl.reset t.gauges;
     Hashtbl.reset t.histograms
 
-  let sorted_keys tbl = Replog.Det.sorted_keys ~compare_key:String.compare tbl
+  let sorted_bindings tbl =
+    Replog.Det.sorted_bindings ~compare_key:String.compare tbl
+
+  (* All iteration over a registry goes through these sorted views —
+     registration order (and therefore Hashtbl layout) depends on code
+     paths taken, which would make every rendered output nondeterministic. *)
+  let counters t = sorted_bindings t.counters
+  let gauges t = sorted_bindings t.gauges
+  let histograms t = sorted_bindings t.histograms
 
   (* One human-readable line per metric, sorted by name. *)
   let to_lines t =
     let counters =
       List.map
-        (fun k ->
-          Printf.sprintf "counter   %-32s %d" k
-            (Counter.value (Hashtbl.find t.counters k)))
-        (sorted_keys t.counters)
+        (fun (k, c) -> Printf.sprintf "counter   %-32s %d" k (Counter.value c))
+        (counters t)
     in
     let gauges =
       List.map
-        (fun k ->
-          Printf.sprintf "gauge     %-32s %g" k
-            (Gauge.value (Hashtbl.find t.gauges k)))
-        (sorted_keys t.gauges)
+        (fun (k, g) -> Printf.sprintf "gauge     %-32s %g" k (Gauge.value g))
+        (gauges t)
     in
     let histograms =
       List.map
-        (fun k ->
-          let h = Hashtbl.find t.histograms k in
+        (fun (k, h) ->
           Printf.sprintf
             "histogram %-32s count=%d mean=%.3f p50=%.3f p99=%.3f max=%.3f" k
             (Histogram.count h) (Histogram.mean h)
             (Histogram.percentile h ~p:50.0)
             (Histogram.percentile h ~p:99.0)
             (Histogram.max_value h))
-        (sorted_keys t.histograms)
+        (histograms t)
     in
     counters @ gauges @ histograms
+
+  (* Prometheus text-format names: [a-zA-Z0-9_:], so the registry's dotted
+     keys are mapped one character at a time ('.' becomes '_'). *)
+  let exposition_name k =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+        | _ -> '_')
+      k
+
+  (* Prometheus-style text exposition: `# TYPE` line per metric, histogram
+     as cumulative `_bucket{le=...}` plus `_sum`/`_count`. Deterministic:
+     sorted by key, and every value is a pure function of the recorded
+     samples. *)
+  let render_exposition t =
+    let buf = Buffer.create 1024 in
+    let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    List.iter
+      (fun (k, c) ->
+        let n = exposition_name k in
+        add "# TYPE %s counter\n" n;
+        add "%s %d\n" n (Counter.value c))
+      (counters t);
+    List.iter
+      (fun (k, g) ->
+        let n = exposition_name k in
+        add "# TYPE %s gauge\n" n;
+        add "%s %g\n" n (Gauge.value g))
+      (gauges t);
+    List.iter
+      (fun (k, h) ->
+        let n = exposition_name k in
+        add "# TYPE %s histogram\n" n;
+        let cum = ref 0 in
+        List.iter
+          (fun (upper, count) ->
+            cum := !cum + count;
+            add "%s_bucket{le=\"%g\"} %d\n" n upper !cum)
+          (Histogram.buckets h);
+        add "%s_bucket{le=\"+Inf\"} %d\n" n (Histogram.count h);
+        add "%s_sum %g\n" n (Histogram.sum h);
+        add "%s_count %d\n" n (Histogram.count h))
+      (histograms t);
+    Buffer.contents buf
+
+  (* One time-stamped snapshot of every metric, for periodic JSONL series
+     (`opx metrics --snapshots`). Percentiles are pre-rendered so readers
+     need no bucket-boundary knowledge. *)
+  let snapshot_json t ~time =
+    let module J = Bench_report.Json in
+    let counters =
+      List.map (fun (k, c) -> (k, J.Int (Counter.value c))) (counters t)
+    in
+    let gauges =
+      List.map (fun (k, g) -> (k, J.float (Gauge.value g))) (gauges t)
+    in
+    let histograms =
+      List.map
+        (fun (k, h) ->
+          ( k,
+            J.Obj
+              [
+                ("count", J.Int (Histogram.count h));
+                ("sum", J.float (Histogram.sum h));
+                ("p50", J.float (Histogram.percentile h ~p:50.0));
+                ("p99", J.float (Histogram.percentile h ~p:99.0));
+                ("max", J.float (Histogram.max_value h));
+              ] ))
+        (histograms t)
+    in
+    J.Obj
+      [
+        ("t_ms", J.float time);
+        ("counters", J.Obj counters);
+        ("gauges", J.Obj gauges);
+        ("histograms", J.Obj histograms);
+      ]
 
   (* The process-wide registry the instrumented layers record into. *)
   let default = create ()

@@ -24,6 +24,7 @@ module Gauge : sig
   val set : t -> float -> unit
   val add : t -> float -> unit
   val value : t -> float
+  val reset : t -> unit
 end
 
 module Histogram : sig
@@ -52,6 +53,10 @@ module Histogram : sig
 
   val buckets : t -> (float * int) list
   (** Non-empty buckets as (upper bound, count), ascending. *)
+
+  val reset : t -> unit
+  (** Zero every bucket and the exact count/sum/min/max, as if freshly
+      created — for per-window sampling without re-registering. *)
 end
 
 module Registry : sig
@@ -66,8 +71,31 @@ module Registry : sig
   val histogram : t -> string -> Histogram.t
   val clear : t -> unit
 
+  val counters : t -> (string * Counter.t) list
+  (** Every registered counter, sorted by key. All registry iteration is
+      sorted: registration order depends on which code paths ran first,
+      which would make rendered output nondeterministic. *)
+
+  val gauges : t -> (string * Gauge.t) list
+  (** Every registered gauge, sorted by key. *)
+
+  val histograms : t -> (string * Histogram.t) list
+  (** Every registered histogram, sorted by key. *)
+
   val to_lines : t -> string list
   (** One human-readable line per metric, sorted by name. *)
+
+  val render_exposition : t -> string
+  (** Prometheus-style text format: a [# TYPE] line per metric, counters
+      and gauges as [name value], histograms as cumulative
+      [name_bucket{le="..."}] lines plus [name_sum]/[name_count]. Metric
+      names are sanitised to [[a-zA-Z0-9_:]] (dots become underscores) and
+      the output is sorted by key, so it is byte-deterministic for
+      deterministic metric values. *)
+
+  val snapshot_json : t -> time:float -> Bench_report.Json.t
+  (** One time-stamped snapshot of every metric (counters, gauges, and
+      histogram count/sum/p50/p99/max), for periodic JSONL series. *)
 
   val default : t
   (** The process-wide registry the instrumented layers record into. *)

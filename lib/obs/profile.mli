@@ -1,0 +1,99 @@
+(** The resource-attribution profiler: scoped, labelled accounting of where
+    a simulation run spends its calls, simulated time, CPU time and
+    allocations.
+
+    Process-global and two-level guarded like {!Trace}: {!on} is true only
+    while profiling is enabled {e and} a collection is open, so every
+    instrumentation site costs one ref load and branch otherwise (verified
+    by [bench/check_profile_overhead.ml]). [Simnet.Net.create] installs the
+    simulated clock.
+
+    Scoping rules: a frame opened while another is on the stack becomes a
+    child of it, so the collected tree mirrors the dynamic dispatch
+    structure — protocol handlers nest under the [simnet/deliver] event
+    that invoked them, tick handlers under [simnet/timer], the batcher's
+    flush under the tick that drove it. Sim-time deltas accrue to the
+    innermost open frame; [Simnet.Net] advances its clock inside the
+    dispatch frame, so the sim-time column of a top-level event label reads
+    as "how much simulated time elapsed up to and during these events".
+
+    Determinism: call counts and sim-time are pure functions of the
+    simulated execution (byte-identical across double runs of a seed);
+    wall-time and allocation words are process measurements and are not.
+    The renderers therefore exclude the wall columns unless [~wall:true]. *)
+
+type t
+(** A completed (or live) collection: the root of the attribution tree. *)
+
+(** {1 Guard and collection lifecycle} *)
+
+val set_enabled : bool -> unit
+val is_enabled : unit -> bool
+
+val on : unit -> bool
+(** True while profiling is enabled and a collection is open. Guard
+    instrumentation sites with this so closure construction is skipped when
+    profiling is off. *)
+
+val set_clock : (unit -> float) -> unit
+(** Install the simulated clock sampled by {!enter}/{!leave}. *)
+
+val start : unit -> unit
+(** Open a fresh collection (replacing any open one). *)
+
+val stop : unit -> t
+(** Close the collection and return it, unwinding any frames an exception
+    left open. Returns an empty tree if no collection was open. *)
+
+val live : unit -> t option
+(** The currently-open collection, for mid-run snapshots (the [opx top]
+    dashboard renders from this without stopping the profile). Frames still
+    on the stack have not yet contributed their deltas. *)
+
+val with_profile : (unit -> 'a) -> 'a * t
+(** [with_profile f] runs [f] with profiling enabled into a fresh
+    collection and returns its result together with the profile, restoring
+    the previous profiler state afterwards (also on exceptions). *)
+
+(** {1 Instrumentation sites} *)
+
+val enter : string -> unit
+(** Open a frame labelled with a component name (by convention
+    ["layer/operation"], e.g. ["omnipaxos/handle"]). No-op unless {!on}. *)
+
+val leave : unit -> unit
+(** Close the innermost frame and attribute its deltas. No-op on an empty
+    stack. Every [enter] must be paired with a [leave] on all paths — use
+    {!wrap} unless the call cannot raise. *)
+
+val wrap : string -> (unit -> 'a) -> 'a
+(** [wrap label f] runs [f] inside a labelled frame, exception-safe.
+    When {!on} is false this is just [f ()] — but the closure argument is
+    still constructed, so hot paths should branch on {!on} themselves and
+    call the uninstrumented code directly in the cold case. *)
+
+(** {1 Rendering} *)
+
+type row = {
+  r_label : string;
+  r_calls : int;
+  r_sim_ms : float;
+  r_wall_ms : float;
+  r_alloc_w : float;  (** allocated words (minor + major - promoted) *)
+}
+
+val flat : t -> row list
+(** The tree flattened by label (one row per component, wherever it
+    appears), sorted by call count descending, ties by label. *)
+
+val to_string : ?wall:bool -> ?top:int -> ?tree:bool -> t -> string
+(** Flat top-[top] table (default 10) followed by the attribution tree
+    (suppressed with [tree:false] — e.g. in per-frame dashboard output).
+    [wall] (default false) adds the nondeterministic wall-ms and
+    allocation columns. *)
+
+val to_json : ?wall:bool -> t -> Bench_report.Json.t
+(** Machine-readable report: schema version, flat rows and the nested
+    tree. With [wall:false] (the default) only the deterministic
+    [calls_count]/[sim_ms] fields are emitted, so the output is
+    byte-identical across double runs of a seed. *)

@@ -39,7 +39,11 @@ let set_clock f = clock := f
 let emit_at ~time ~node kind =
   if !hot then begin
     let e = { Event.time; node; kind } in
-    List.iter (fun (_, s) -> s e) !sinks
+    (* Sink cost is attributed to [obs/sink] when a profile is open, so
+       "how much does tracing itself cost" shows up in attribution trees. *)
+    if Profile.on () then
+      Profile.wrap "obs/sink" (fun () -> List.iter (fun (_, s) -> s e) !sinks)
+    else List.iter (fun (_, s) -> s e) !sinks
   end
 
 let emit ~node kind = if !hot then emit_at ~time:(!clock ()) ~node kind

@@ -53,7 +53,13 @@ let tick t =
     | Some b -> Sequence_paxos.handle_leader t.sp b
     | None -> ()
   end;
-  Sequence_paxos.flush t.sp
+  (* The batcher's flush gets its own profiler frame (nested under the
+     tick that drove it) — it is the hot-path cost the adaptive batching
+     policy trades against latency. Cold branch repeats the call so the
+     profiler-off path allocates no closure. *)
+  if Obs.Profile.on () then
+    Obs.Profile.wrap "batching/flush" (fun () -> Sequence_paxos.flush t.sp)
+  else Sequence_paxos.flush t.sp
 
 let session_reset t ~peer = Sequence_paxos.session_reset t.sp ~peer
 let recover t = Sequence_paxos.recover t.sp

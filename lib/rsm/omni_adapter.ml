@@ -53,8 +53,19 @@ let make ?qc_signal ?connectivity_priority ?batching ~id ~peers
 let create ?batching ~id ~peers ~election_ticks ~rand ~send () =
   make ?batching ~id ~peers ~election_ticks ~rand ~send ()
 
-let handle t ~src msg = R.handle t.replica ~src msg
-let tick t = R.tick t.replica
+(* Profiler frames around the two dispatch entry points. The cold branch
+   repeats the call instead of passing a closure to [wrap], so the
+   profiler-off path allocates nothing (the overhead gate measures this). *)
+let handle t ~src msg =
+  if Obs.Profile.on () then
+    Obs.Profile.wrap "omnipaxos/handle" (fun () -> R.handle t.replica ~src msg)
+  else R.handle t.replica ~src msg
+
+let tick t =
+  if Obs.Profile.on () then
+    Obs.Profile.wrap "omnipaxos/tick" (fun () -> R.tick t.replica)
+  else R.tick t.replica
+
 let session_reset t ~peer = R.session_reset t.replica ~peer
 
 (* Fail-recovery: volatile state is lost, the replica is rebuilt on its old

@@ -65,12 +65,22 @@ module Plain = struct
 
   let name = "Raft"
   let create = make ~pre_vote:false ~check_quorum:false
-  let handle t ~src msg = N.handle t.node ~src msg
 
-  let tick t =
+  (* Profiler frames around the dispatch entry points; the cold branch
+     repeats the call so the profiler-off path allocates no closure. *)
+  let handle t ~src msg =
+    if Obs.Profile.on () then
+      Obs.Profile.wrap "raft/handle" (fun () -> N.handle t.node ~src msg)
+    else N.handle t.node ~src msg
+
+  let tick_raw t =
     N.tick t.node;
     Protocol.Obs_hooks.note_leader t.obs ~node:t.id
       ~leader:(N.leader_pid t.node) ~term:(N.current_term t.node)
+
+  let tick t =
+    if Obs.Profile.on () then Obs.Profile.wrap "raft/tick" (fun () -> tick_raw t)
+    else tick_raw t
 
   let session_reset t ~peer = N.session_reset t.node ~peer
 

@@ -43,14 +43,23 @@ let create ?batching ~id ~peers ~election_ticks ~rand ~send () =
   t_ref := Some t;
   t
 
-let handle t ~src msg = N.handle t.node ~src msg
+(* Profiler frames around the dispatch entry points; the cold branch
+   repeats the call so the profiler-off path allocates no closure. *)
+let handle t ~src msg =
+  if Obs.Profile.on () then
+    Obs.Profile.wrap "vr/handle" (fun () -> N.handle t.node ~src msg)
+  else N.handle t.node ~src msg
 
 (* VR drives an embedded Sequence Paxos, which already emits Decided events;
    here we only add leader/view transitions. *)
-let tick t =
+let tick_raw t =
   N.tick t.node;
   Protocol.Obs_hooks.note_leader t.obs ~node:t.id
     ~leader:(N.leader_pid t.node) ~term:(N.view t.node)
+
+let tick t =
+  if Obs.Profile.on () then Obs.Profile.wrap "vr/tick" (fun () -> tick_raw t)
+  else tick_raw t
 let session_reset t ~peer = N.session_reset t.node ~peer
 
 (* VR's node (view + embedded Sequence Paxos) has no injectable storage:

@@ -7,12 +7,30 @@ type 'a t = {
   mutable data : 'a entry array;
   mutable size : int;
   mutable next_seq : int;
+  (* Lifetime accounting for the scale-out work: the high-water mark bounds
+     the array footprint, pushes/pops give the total event volume. A few
+     integer ops per operation, maintained unconditionally so instrumented
+     and uninstrumented runs stay byte-identical. *)
+  mutable high_water : int;
+  mutable pops : int;
 }
 
-let create () = { data = [||]; size = 0; next_seq = 0 }
+type stats = { hs_size : int; hs_high_water : int; hs_pushes : int; hs_pops : int }
+
+let create () = { data = [||]; size = 0; next_seq = 0; high_water = 0; pops = 0 }
 
 let length t = t.size
 let is_empty t = t.size = 0
+
+(* [next_seq] counts every insertion ever, so it doubles as the push
+   counter. *)
+let stats t =
+  {
+    hs_size = t.size;
+    hs_high_water = t.high_water;
+    hs_pushes = t.next_seq;
+    hs_pops = t.pops;
+  }
 
 let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
@@ -31,6 +49,7 @@ let push t ~time payload =
   if t.size = Array.length t.data then grow t;
   t.data.(t.size) <- entry;
   t.size <- t.size + 1;
+  if t.size > t.high_water then t.high_water <- t.size;
   (* Sift up. *)
   let rec up i =
     if i > 0 then begin
@@ -52,6 +71,7 @@ let pop t =
   else begin
     let top = t.data.(0) in
     t.size <- t.size - 1;
+    t.pops <- t.pops + 1;
     if t.size > 0 then begin
       t.data.(0) <- t.data.(t.size);
       let rec down i =

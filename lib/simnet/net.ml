@@ -62,6 +62,21 @@ type 'm t = {
   delivered_msgs : int array;  (* per receiving node *)
   delivered_bytes : int array;  (* per receiving node *)
   mutable delivered_bytes_total : int;
+  (* Internals instrumentation (a few integer ops per event, maintained
+     unconditionally like the Lamport clocks): dispatch counts per event
+     class, Deliver events currently in the heap, and per-sender egress
+     queue depth with its high-water mark. *)
+  dispatched : int array;  (* timer / deliver / session_reset / egress *)
+  mutable deliver_in_flight : int;
+  egress_depth : int array;  (* per src: messages queued across all dsts *)
+  egress_depth_hw : int array;
+}
+
+type heap_stats = Event_heap.stats = {
+  hs_size : int;
+  hs_high_water : int;
+  hs_pushes : int;
+  hs_pops : int;
 }
 
 let create ?(seed = 42) ?(latency = 0.1) ?(egress_bw = infinity)
@@ -96,11 +111,17 @@ let create ?(seed = 42) ?(latency = 0.1) ?(egress_bw = infinity)
       delivered_msgs = Array.make n 0;
       delivered_bytes = Array.make n 0;
       delivered_bytes_total = 0;
+      dispatched = Array.make 4 0;
+      deliver_in_flight = 0;
+      egress_depth = Array.make n 0;
+      egress_depth_hw = Array.make n 0;
     }
   in
   (* Trace events emitted by the protocol layers carry simulated time; the
-     latest-created network owns the tracer clock (runs are sequential). *)
+     latest-created network owns the tracer clock (runs are sequential).
+     The profiler samples the same clock for its sim-time column. *)
   Obs.Trace.set_clock (fun () -> t.clock);
+  Obs.Profile.set_clock (fun () -> t.clock);
   t
 
 let now t = t.clock
@@ -128,6 +149,7 @@ let schedule_delivery t ~src ~dst ~session ~size ~send_id ~lc msg =
   let arrival = t.clock +. t.latency.(src).(dst) in
   let arrival = Float.max arrival t.last_delivery.(src).(dst) in
   t.last_delivery.(src).(dst) <- arrival;
+  t.deliver_in_flight <- t.deliver_in_flight + 1;
   Event_heap.push t.events ~time:arrival
     (Deliver { src; dst; session; size; send_id; lc; msg })
 
@@ -151,7 +173,11 @@ let pump_egress t src =
       t.sent_bytes_to.(src).(d) <- t.sent_bytes_to.(src).(d) + chunk;
       item.p_remaining <- item.p_remaining - chunk;
       let completed =
-        if item.p_remaining <= 0 then Some (Queue.pop queues.(d)) else None
+        if item.p_remaining <= 0 then begin
+          t.egress_depth.(src) <- t.egress_depth.(src) - 1;
+          Some (Queue.pop queues.(d))
+        end
+        else None
       in
       t.egress_rr.(src) <- (d + 1) mod t.n;
       t.egress_busy.(src) <- true;
@@ -191,6 +217,9 @@ let send t ~src ~dst ~size msg =
           p_remaining = size;
         }
         t.egress_queues.(src).(dst);
+      t.egress_depth.(src) <- t.egress_depth.(src) + 1;
+      if t.egress_depth.(src) > t.egress_depth_hw.(src) then
+        t.egress_depth_hw.(src) <- t.egress_depth.(src);
       if not t.egress_busy.(src) then pump_egress t src
     end
   end
@@ -323,6 +352,7 @@ let crash t i =
   t.session_handlers.(i) <- None;
   (* Unsent egress data is lost with the process. *)
   Array.iter Queue.clear t.egress_queues.(i);
+  t.egress_depth.(i) <- 0;
   t.egress_busy.(i) <- false;
   t.egress_gen.(i) <- t.egress_gen.(i) + 1
 
@@ -343,8 +373,12 @@ let is_up t i =
 
 let dispatch t event =
   match event with
-  | Timer f -> f ()
+  | Timer f ->
+      t.dispatched.(0) <- t.dispatched.(0) + 1;
+      f ()
   | Deliver { src; dst; session; size; send_id; lc; msg } ->
+      t.dispatched.(1) <- t.dispatched.(1) + 1;
+      t.deliver_in_flight <- t.deliver_in_flight - 1;
       if
         t.node_up.(dst) && t.node_up.(src) && t.up.(src).(dst)
         && session = t.session.(src).(dst)
@@ -376,12 +410,14 @@ let dispatch t event =
           (Obs.Event.Msg_drop { src; dst; reason; session; send_id })
       end
   | Session_reset { node; peer; session } ->
+      t.dispatched.(2) <- t.dispatched.(2) + 1;
       if t.node_up.(node) && session = t.session.(node).(peer) then begin
         match t.session_handlers.(node) with
         | Some h -> h ~peer
         | None -> ()
       end
   | Egress_step { src; gen; completed } ->
+      t.dispatched.(3) <- t.dispatched.(3) + 1;
       if gen = t.egress_gen.(src) then begin
         (match completed with
         | Some item ->
@@ -392,12 +428,32 @@ let dispatch t event =
         pump_egress t src
       end
 
+let dispatch_label = function
+  | Timer _ -> "simnet/timer"
+  | Deliver _ -> "simnet/deliver"
+  | Session_reset _ -> "simnet/session_reset"
+  | Egress_step _ -> "simnet/egress"
+
 let step t =
   match Event_heap.pop t.events with
   | None -> false
   | Some (time, event) ->
-      t.clock <- Float.max t.clock time;
-      dispatch t event;
+      if Obs.Profile.on () then begin
+        (* The clock advance happens inside the frame, so the sim-time
+           column of a dispatch label accumulates the simulated time that
+           passed waiting for events of that class; handler frames opened
+           within (protocol adapters, flush) nest as children. The cold
+           branch below is duplicated rather than wrapped in a closure so
+           the profiler-off path allocates nothing extra. *)
+        Obs.Profile.enter (dispatch_label event);
+        t.clock <- Float.max t.clock time;
+        dispatch t event;
+        Obs.Profile.leave ()
+      end
+      else begin
+        t.clock <- Float.max t.clock time;
+        dispatch t event
+      end;
       true
 
 let run_until t deadline =
@@ -436,3 +492,56 @@ let messages_delivered_at t i =
 let bytes_delivered_at t i =
   check_node t i;
   t.delivered_bytes.(i)
+
+(* ------------------------------------------------------------------ *)
+(* Internals instrumentation                                           *)
+(* ------------------------------------------------------------------ *)
+
+let heap_stats t = Event_heap.stats t.events
+
+let dispatch_counts t =
+  [
+    ("deliver", t.dispatched.(1));
+    ("egress_step", t.dispatched.(3));
+    ("session_reset", t.dispatched.(2));
+    ("timer", t.dispatched.(0));
+  ]
+
+let deliver_in_flight t = t.deliver_in_flight
+
+let link_queue_depth t ~src ~dst =
+  check_node t src;
+  check_node t dst;
+  Queue.length t.egress_queues.(src).(dst)
+
+let egress_queue_depth t i =
+  check_node t i;
+  t.egress_depth.(i)
+
+let egress_queue_high_water t i =
+  check_node t i;
+  t.egress_depth_hw.(i)
+
+(* Mirror the current internals into the process-wide metric registry.
+   Called by samplers (the dashboard, `opx metrics` snapshots) rather than
+   from the hot path, so per-event cost stays at plain integer updates. *)
+let publish_metrics t =
+  let module M = Obs.Metric in
+  let set name v = M.Gauge.set M.Registry.(gauge default name) v in
+  let seti name v = set name (float_of_int v) in
+  let hs = heap_stats t in
+  seti "simnet.heap.size" hs.hs_size;
+  seti "simnet.heap.high_water" hs.hs_high_water;
+  seti "simnet.heap.pushes" hs.hs_pushes;
+  seti "simnet.heap.pops" hs.hs_pops;
+  List.iter
+    (fun (name, v) -> seti ("simnet.dispatch." ^ name) v)
+    (dispatch_counts t);
+  seti "simnet.deliver.in_flight" t.deliver_in_flight;
+  let queued = ref 0 and hw = ref 0 in
+  for i = 0 to t.n - 1 do
+    queued := !queued + t.egress_depth.(i);
+    hw := max !hw t.egress_depth_hw.(i)
+  done;
+  seti "simnet.egress.queued" !queued;
+  seti "simnet.egress.queued_high_water" !hw

@@ -144,3 +144,43 @@ val messages_delivered_at : 'm t -> int -> int
 
 val bytes_delivered_at : 'm t -> int -> int
 (** Bytes delivered to (received by) a given node. *)
+
+(** {1 Internals instrumentation}
+
+    Counters over the simulator's own machinery (event heap, dispatch loop,
+    egress queues), maintained unconditionally as a few integer ops per
+    event — instrumented and uninstrumented runs stay byte-identical. All
+    values are pure functions of the simulated execution and therefore
+    deterministic per seed. *)
+
+type heap_stats = Event_heap.stats = {
+  hs_size : int;  (** events currently queued *)
+  hs_high_water : int;  (** maximum queue size ever reached *)
+  hs_pushes : int;  (** total events ever scheduled *)
+  hs_pops : int;  (** total events ever dispatched *)
+}
+
+val heap_stats : 'm t -> heap_stats
+
+val dispatch_counts : 'm t -> (string * int) list
+(** Events dispatched per class ([deliver], [egress_step], [session_reset],
+    [timer]), sorted by label. *)
+
+val deliver_in_flight : 'm t -> int
+(** [Deliver] events currently in the heap (sent, not yet arrived). *)
+
+val link_queue_depth : 'm t -> src:int -> dst:int -> int
+(** Messages waiting in the [src -> dst] egress queue (0 when the egress
+    bandwidth model is off — messages then go straight into the heap). *)
+
+val egress_queue_depth : 'm t -> int -> int
+(** Messages queued by a sender across all destinations. *)
+
+val egress_queue_high_water : 'm t -> int -> int
+(** Maximum of {!egress_queue_depth} ever reached by this sender. *)
+
+val publish_metrics : 'm t -> unit
+(** Mirror the current internals into gauges of
+    [Obs.Metric.Registry.default] (keys under [simnet.]). Intended to be
+    called from samplers — the dashboard, metric snapshots — not from hot
+    paths. *)

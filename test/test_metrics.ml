@@ -1,9 +1,11 @@
 (* Unit tests for the measurement utilities: the decided-count series (the
-   source of every down-time and throughput figure) and the t-distribution
-   statistics. *)
+   source of every down-time and throughput figure), the t-distribution
+   statistics, and the metric registry's reset/iteration/exposition
+   surface. *)
 
 module Series = Rsm.Metrics.Series
 module Stats = Rsm.Metrics.Stats
+module M = Obs.Metric
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -81,6 +83,86 @@ let test_stats () =
   check "normal approximation beyond df 30" true
     (abs_float (Stats.t_value ~df:100 -. 1.96) < 1e-9)
 
+let test_gauge_reset () =
+  let g = M.Gauge.create () in
+  M.Gauge.set g 7.5;
+  M.Gauge.add g 2.5;
+  checkf "value before reset" 10.0 (M.Gauge.value g);
+  M.Gauge.reset g;
+  checkf "reset zeroes" 0.0 (M.Gauge.value g)
+
+let test_histogram_reset () =
+  let h = M.Histogram.create () in
+  List.iter (M.Histogram.observe h) [ 1.0; 4.0; 100.0 ];
+  check_int "count before reset" 3 (M.Histogram.count h);
+  M.Histogram.reset h;
+  check_int "count" 0 (M.Histogram.count h);
+  checkf "sum" 0.0 (M.Histogram.sum h);
+  check "buckets empty" true (M.Histogram.buckets h = []);
+  check "percentile of empty is nan" true
+    (Float.is_nan (M.Histogram.percentile h ~p:50.0));
+  (* The reset histogram behaves like a fresh one. *)
+  M.Histogram.observe h 2.0;
+  check_int "observes again" 1 (M.Histogram.count h);
+  checkf "sum restarts" 2.0 (M.Histogram.sum h);
+  checkf "min restarts" 2.0 (M.Histogram.min_value h);
+  checkf "max restarts" 2.0 (M.Histogram.max_value h)
+
+let test_registry_sorted () =
+  let r = M.Registry.create () in
+  (* Register out of order: iteration must come back sorted by key. *)
+  List.iter (fun n -> ignore (M.Registry.counter r n)) [ "z"; "a"; "m" ];
+  List.iter (fun n -> ignore (M.Registry.gauge r n)) [ "g2"; "g1" ];
+  ignore (M.Registry.histogram r "h");
+  check "counters sorted" true
+    (List.map fst (M.Registry.counters r) = [ "a"; "m"; "z" ]);
+  check "gauges sorted" true
+    (List.map fst (M.Registry.gauges r) = [ "g1"; "g2" ]);
+  check "find-or-create returns the same metric" true
+    (M.Registry.counter r "a" == M.Registry.counter r "a");
+  M.Registry.clear r;
+  check "clear empties" true (M.Registry.counters r = [])
+
+let test_exposition () =
+  let r = M.Registry.create () in
+  M.Counter.add (M.Registry.counter r "cluster.proposals.accepted") 41;
+  M.Gauge.set (M.Registry.gauge r "simnet.heap.size") 7.0;
+  let h = M.Registry.histogram r "commit.latency_ms" in
+  List.iter (M.Histogram.observe h) [ 0.5; 3.0 ];
+  let e = M.Registry.render_exposition r in
+  let has needle =
+    let nh = String.length e and nn = String.length needle in
+    let rec go i =
+      i + nn <= nh && (String.equal (String.sub e i nn) needle || go (i + 1))
+    in
+    go 0
+  in
+  check "counter line (dots sanitised)" true
+    (has "# TYPE cluster_proposals_accepted counter\n\
+          cluster_proposals_accepted 41");
+  check "gauge line" true (has "simnet_heap_size 7");
+  check "histogram type line" true (has "# TYPE commit_latency_ms histogram");
+  check "cumulative buckets end at +Inf" true
+    (has "commit_latency_ms_bucket{le=\"+Inf\"} 2");
+  check "sum and count" true
+    (has "commit_latency_ms_sum 3.5" && has "commit_latency_ms_count 2");
+  (* Rendering twice is byte-identical (sorted iteration, no wall clock). *)
+  check "deterministic" true
+    (String.equal e (M.Registry.render_exposition r))
+
+let test_snapshot_json () =
+  let r = M.Registry.create () in
+  M.Counter.add (M.Registry.counter r "c") 3;
+  M.Gauge.set (M.Registry.gauge r "g") 1.5;
+  M.Histogram.observe (M.Registry.histogram r "h") 4.0;
+  let j = M.Registry.snapshot_json r ~time:250.0 in
+  let s = Bench_report.Json.to_compact_string j in
+  check "one line" true (not (String.contains s '\n'));
+  check "snapshot carries the sample time" true
+    (Bench_report.Json.member "t_ms" j = Some (Bench_report.Json.float 250.0));
+  check "snapshot is deterministic" true
+    (String.equal s (Bench_report.Json.to_compact_string j))
+
 let () =
   Alcotest.run "metrics"
     [
@@ -93,4 +175,13 @@ let () =
           Alcotest.test_case "windowed" `Quick test_windowed;
         ] );
       ("stats", [ Alcotest.test_case "mean/stddev/ci" `Quick test_stats ]);
+      ( "metric",
+        [
+          Alcotest.test_case "gauge reset" `Quick test_gauge_reset;
+          Alcotest.test_case "histogram reset" `Quick test_histogram_reset;
+          Alcotest.test_case "registry sorted iteration" `Quick
+            test_registry_sorted;
+          Alcotest.test_case "prometheus exposition" `Quick test_exposition;
+          Alcotest.test_case "snapshot json" `Quick test_snapshot_json;
+        ] );
     ]

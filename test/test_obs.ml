@@ -558,6 +558,59 @@ let test_decided_regression_detected () =
   | Ok () -> Alcotest.fail "decided-index regression not detected"
   | Error v -> check_int "regressing node" 2 v.Invariant.node
 
+(* ------------------------- profiler ------------------------- *)
+
+module Profile = Obs.Profile
+
+let test_profile_scoping () =
+  let clock = ref 0.0 in
+  Profile.set_clock (fun () -> !clock);
+  let (), root =
+    Profile.with_profile (fun () ->
+        for _ = 1 to 3 do
+          Profile.wrap "outer" (fun () ->
+              clock := !clock +. 10.0;
+              Profile.wrap "inner" (fun () -> ()))
+        done;
+        Profile.wrap "other" (fun () -> ()))
+  in
+  Profile.set_clock (fun () -> 0.0);
+  let row label =
+    List.find (fun (r : Profile.row) -> r.Profile.r_label = label)
+      (Profile.flat root)
+  in
+  Alcotest.(check int) "outer calls" 3 (row "outer").Profile.r_calls;
+  Alcotest.(check int) "inner calls" 3 (row "inner").Profile.r_calls;
+  Alcotest.(check int) "sibling calls" 1 (row "other").Profile.r_calls;
+  (* The clock advanced inside "outer" but not inside "inner": sim time is
+     attributed to the frame that was open while it moved. *)
+  Alcotest.(check (float 1e-9)) "outer sim-ms" 30.0 (row "outer").Profile.r_sim_ms;
+  Alcotest.(check (float 1e-9)) "inner sim-ms" 0.0 (row "inner").Profile.r_sim_ms;
+  check "guard off outside a capture" true (not (Profile.on ()))
+
+let test_profile_exception_safety () =
+  let (), root =
+    Profile.with_profile (fun () ->
+        (try Profile.wrap "boom" (fun () -> failwith "x") with Failure _ -> ());
+        Profile.wrap "after" (fun () -> ()))
+  in
+  let labels =
+    List.map (fun (r : Profile.row) -> r.Profile.r_label) (Profile.flat root)
+  in
+  check "failed frame still recorded" true (List.mem "boom" labels);
+  check "stack unwound: sibling not nested under the failed frame" true
+    (List.mem "after" labels)
+
+let test_profile_json_deterministic () =
+  let go () =
+    let (), root =
+      Profile.with_profile (fun () ->
+          Profile.wrap "a" (fun () -> Profile.wrap "b" (fun () -> ())))
+    in
+    Bench_report.Json.to_string (Profile.to_json root)
+  in
+  check "double capture renders identically" true (String.equal (go ()) (go ()))
+
 let () =
   Alcotest.run "obs"
     [
@@ -615,5 +668,14 @@ let () =
             test_health_suspect_edges;
           Alcotest.test_case "recovery episodes" `Quick
             test_health_recovery_episode;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "scoping and sim-time attribution" `Quick
+            test_profile_scoping;
+          Alcotest.test_case "exception safety" `Quick
+            test_profile_exception_safety;
+          Alcotest.test_case "json determinism" `Quick
+            test_profile_json_deterministic;
         ] );
     ]

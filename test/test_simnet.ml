@@ -43,6 +43,73 @@ let test_heap_many () =
   done;
   check "1000 random pushes pop sorted" true !ok
 
+let test_heap_stats () =
+  let h = Heap.create () in
+  let s = Heap.stats h in
+  check "fresh heap all zero" true
+    (s = { Heap.hs_size = 0; hs_high_water = 0; hs_pushes = 0; hs_pops = 0 });
+  List.iter (fun t -> Heap.push h ~time:t t) [ 1.0; 2.0; 3.0 ];
+  ignore (Heap.pop h);
+  let s = Heap.stats h in
+  check_int "size after 3 pushes, 1 pop" 2 s.Heap.hs_size;
+  check_int "high-water is the peak size" 3 s.Heap.hs_high_water;
+  check_int "pushes count every insertion" 3 s.Heap.hs_pushes;
+  check_int "pops" 1 s.Heap.hs_pops;
+  List.iter (fun t -> Heap.push h ~time:t t) [ 4.0; 5.0 ];
+  check_int "high-water advances past the old peak" 4
+    (Heap.stats h).Heap.hs_high_water;
+  while Heap.pop h <> None do () done;
+  let s = Heap.stats h in
+  check_int "drained size" 0 s.Heap.hs_size;
+  check "pushes = pops when drained" true (s.Heap.hs_pushes = s.Heap.hs_pops)
+
+(* ------------------------- net instrumentation ------------------------- *)
+
+let test_net_instrumentation () =
+  let net = make () in
+  let log = ref [] in
+  collect net 1 log;
+  Net.send net ~src:0 ~dst:1 ~size:10 "a";
+  Net.send net ~src:0 ~dst:1 ~size:10 "b";
+  check_int "two deliveries in flight" 2 (Net.deliver_in_flight net);
+  check_int "link queue is the sender's per-link egress buffer" 0
+    (Net.link_queue_depth net ~src:0 ~dst:1);
+  Net.drain net;
+  check_int "in-flight drains to zero" 0 (Net.deliver_in_flight net);
+  let hs = Net.heap_stats net in
+  check "heap accounting balances" true
+    (hs.Net.hs_pushes = hs.Net.hs_pops + hs.Net.hs_size);
+  check "dispatch counts name the deliver class" true
+    (List.assoc "deliver" (Net.dispatch_counts net) = 2);
+  (* With bounded egress bandwidth the per-source queue is visible while
+     the link serialises, and the high-water mark remembers it. *)
+  let net2 = make ~egress_bw:1.0 () in
+  let log2 = ref [] in
+  collect net2 1 log2;
+  (* The first message starts transmitting immediately (and a sub-chunk
+     message is popped from the queue right away); the ones behind a busy
+     link stay queued and set the high-water mark. *)
+  Net.send net2 ~src:0 ~dst:1 ~size:100 "slow1";
+  Net.send net2 ~src:0 ~dst:1 ~size:100 "slow2";
+  Net.send net2 ~src:0 ~dst:1 ~size:100 "slow3";
+  check_int "messages behind the busy link stay queued" 2
+    (Net.egress_queue_depth net2 0);
+  Net.drain net2;
+  check_int "egress queue drains" 0 (Net.egress_queue_depth net2 0);
+  check "egress high-water survives the drain" true
+    (Net.egress_queue_high_water net2 0 >= 2);
+  (* publish_metrics mirrors the counters into the default registry. *)
+  Obs.Metric.Registry.clear Obs.Metric.Registry.default;
+  Net.publish_metrics net;
+  let gauge n =
+    int_of_float
+      (Obs.Metric.Gauge.value (Obs.Metric.Registry.gauge Obs.Metric.Registry.default n))
+  in
+  check_int "published dispatch gauge" 2 (gauge "simnet.dispatch.deliver");
+  check_int "published heap pushes" (Net.heap_stats net).Net.hs_pushes
+    (gauge "simnet.heap.pushes");
+  Obs.Metric.Registry.clear Obs.Metric.Registry.default
+
 (* ------------------------- delivery ------------------------- *)
 
 let test_basic_delivery () =
@@ -262,6 +329,9 @@ let () =
         [
           Alcotest.test_case "order" `Quick test_heap_order;
           Alcotest.test_case "many" `Quick test_heap_many;
+          Alcotest.test_case "stats" `Quick test_heap_stats;
+          Alcotest.test_case "net instrumentation" `Quick
+            test_net_instrumentation;
         ] );
       ( "delivery",
         [
