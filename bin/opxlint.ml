@@ -1,21 +1,31 @@
-(* opxlint — static determinism & protocol-safety analyzer over .cmt files.
+(* opxlint — static determinism, protocol-safety & effect analyzer over
+   .cmt files.
 
    Usage:
-     opxlint [--baseline FILE] [--write-baseline]
+     opxlint [--baseline FILE] [--write-baseline] [--strict]
+             [--effects-facts FILE] [--effects-summary FILE]
+             [--effects] [--write-effects] [--json] [--sarif FILE]
              [--allow RULE:PATH-SUBSTRING]... [--rules D1,D2,...]
              PATH...
 
    PATHs are .cmt files or directories scanned recursively (point it at a
    dune build tree, e.g. _build/default/lib or just lib from inside
-   _build). Prints findings as "file:line rule message" and exits 1 when
-   any finding is not absorbed by the baseline, 2 on usage/analysis
-   errors. *)
+   _build). Prints findings as "file:line rule message" (or a JSON
+   document with --json) and exits 1 when any finding is not absorbed by
+   the baseline — or, under --strict, when a baseline or effects-summary
+   entry has gone stale — and 2 on usage/analysis errors.
+
+   --effects prints the inferred per-function effect signature table and
+   exits; --write-effects regenerates the committed summary (the E4
+   ratchet). *)
 
 let () =
   let opts = ref Lint.Driver.default_options in
   let usage =
-    "opxlint [--baseline FILE] [--write-baseline] [--allow RULE:SUBSTR]... \
-     [--rules D1,D2,...] PATH...\n\
+    "opxlint [--baseline FILE] [--write-baseline] [--strict]\n\
+    \        [--effects-facts FILE] [--effects-summary FILE]\n\
+    \        [--effects] [--write-effects] [--json] [--sarif FILE]\n\
+    \        [--allow RULE:SUBSTR]... [--rules D1,D2,...] PATH...\n\
      Rules:\n"
     ^ String.concat "\n"
         (List.map
@@ -40,6 +50,34 @@ let () =
         Arg.Unit
           (fun () -> opts := { !opts with Lint.Driver.write_baseline = true }),
         " regenerate the baseline from the current findings and exit" );
+      ( "--strict",
+        Arg.Unit (fun () -> opts := { !opts with Lint.Driver.strict = true }),
+        " stale baseline/summary entries become errors (ratchets only \
+         shrink)" );
+      ( "--effects-facts",
+        Arg.String
+          (fun f -> opts := { !opts with Lint.Driver.facts_file = Some f }),
+        "FILE external effect facts, pure_core manifest, allowlists and \
+         protocol_dir scopes" );
+      ( "--effects-summary",
+        Arg.String
+          (fun f -> opts := { !opts with Lint.Driver.summary_file = Some f }),
+        "FILE committed per-function effect signatures (the E4 ratchet)" );
+      ( "--effects",
+        Arg.Unit
+          (fun () -> opts := { !opts with Lint.Driver.print_effects = true }),
+        " print the inferred effect-signature table and exit" );
+      ( "--write-effects",
+        Arg.Unit
+          (fun () -> opts := { !opts with Lint.Driver.write_summary = true }),
+        " regenerate the effects summary (--effects-summary FILE) and exit" );
+      ( "--json",
+        Arg.Unit (fun () -> opts := { !opts with Lint.Driver.json = true }),
+        " print findings as a JSON document instead of text" );
+      ( "--sarif",
+        Arg.String
+          (fun f -> opts := { !opts with Lint.Driver.sarif_file = Some f }),
+        "FILE additionally write a SARIF 2.1.0 log of the fresh findings" );
       ( "--allow",
         Arg.String
           (fun s ->

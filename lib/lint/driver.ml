@@ -1,6 +1,8 @@
-(** Scans build trees for [.cmt] files, runs the rules over each typed AST,
-    applies suppressions, per-path allowances and the baseline, and reports
-    findings as [file:line rule message] lines. *)
+(** Scans build trees for [.cmt] files, runs the per-expression rules
+    (D1–D5) and the interprocedural effect analysis (E1–E4) over the typed
+    ASTs, applies suppressions, per-path allowances, the baseline and the
+    effects summary, and reports findings as [file:line rule message]
+    lines (or JSON/SARIF). *)
 
 let rec scan_cmts acc path =
   if Sys.is_directory path then
@@ -22,6 +24,15 @@ type options = {
           substring — e.g. [D3:lib/simnet/] for the simulated clock's own
           implementation *)
   rules : Finding.rule list;
+  strict : bool;
+      (** stale baseline / summary entries become hard errors: the
+          ratchets can only shrink *)
+  facts_file : string option;  (** external effect facts ([effects.facts]) *)
+  summary_file : string option;  (** committed signatures (E4 ratchet) *)
+  write_summary : bool;  (** regenerate the summary and exit *)
+  print_effects : bool;  (** print the signature table and exit *)
+  json : bool;  (** findings as JSON on stdout instead of text *)
+  sarif_file : string option;  (** additionally write a SARIF log *)
 }
 
 let default_options =
@@ -31,6 +42,13 @@ let default_options =
     write_baseline = false;
     allow = [];
     rules = Finding.all_rules;
+    strict = false;
+    facts_file = None;
+    summary_file = None;
+    write_summary = false;
+    print_effects = false;
+    json = false;
+    sarif_file = None;
   }
 
 let contains_substring ~needle haystack =
@@ -54,14 +72,30 @@ let path_allowed opts (f : Finding.t) =
 let modname_of_cmt_file path =
   String.capitalize_ascii (Filename.chop_suffix (Filename.basename path) ".cmt")
 
-let analyze_file ~cfg path =
+type loaded_unit = {
+  lu_src : string;
+  lu_modname : string;
+  lu_str : Typedtree.structure;
+}
+
+let load_unit path =
   let cmt = Cmt_format.read_cmt path in
-  let file =
+  let src =
     match cmt.Cmt_format.cmt_sourcefile with Some f -> f | None -> path
   in
   match cmt.Cmt_format.cmt_annots with
-  | Cmt_format.Implementation str -> Rules.run_structure ~cfg ~file str
-  | _ -> []
+  | Cmt_format.Implementation str ->
+      Some { lu_src = src; lu_modname = modname_of_cmt_file path; lu_str = str }
+  | _ -> None
+
+let load_facts_or_exit = function
+  | None -> Effects.empty_facts ()
+  | Some file -> (
+      match Effects.load_facts file with
+      | Ok facts -> facts
+      | Error msgs ->
+          List.iter prerr_endline msgs;
+          exit 2)
 
 let run opts =
   let cmts =
@@ -73,16 +107,10 @@ let run opts =
       prerr_endline "opxlint: no .cmt files found (build the tree first)";
       exit 2
   | _ :: _ -> ());
-  let cfg =
-    {
-      Rules.project_modules =
-        List.sort_uniq String.compare (List.map modname_of_cmt_file cmts);
-    }
-  in
-  let findings =
-    List.concat_map
+  let units =
+    List.filter_map
       (fun path ->
-        try analyze_file ~cfg path
+        try load_unit path
         with exn ->
           prerr_endline
             (Printf.sprintf "opxlint: cannot analyze %s: %s" path
@@ -90,51 +118,130 @@ let run opts =
           exit 2)
       cmts
   in
-  let findings =
-    findings
-    |> List.filter (fun (f : Finding.t) ->
-           List.exists (fun r -> r == f.Finding.rule) opts.rules)
-    |> List.filter (fun f -> not (path_allowed opts f))
-    |> List.sort Finding.order
+  let cfg =
+    {
+      Rules.project_modules =
+        List.sort_uniq String.compare (List.map modname_of_cmt_file cmts);
+    }
   in
-  if opts.write_baseline then begin
-    match opts.baseline_file with
+  (* Interprocedural effect analysis over the whole scanned set. *)
+  let facts = load_facts_or_exit opts.facts_file in
+  let eff =
+    Effects.analyze ~facts
+      (List.map
+         (fun u ->
+           {
+             Effects.u_display = Effects.display_of_unit_name u.lu_modname;
+             u_src = u.lu_src;
+             u_str = u.lu_str;
+           })
+         units)
+  in
+  if opts.print_effects then begin
+    Effects.print_table eff stdout;
+    0
+  end
+  else if opts.write_summary then begin
+    match opts.summary_file with
     | None ->
-        prerr_endline "opxlint: --write-baseline requires --baseline FILE";
+        prerr_endline "opxlint: --write-effects requires --effects-summary FILE";
         exit 2
     | Some file ->
-        Baseline.write file findings;
-        Printf.eprintf "opxlint: wrote %d entr%s to %s\n" (List.length findings)
-          (if List.length findings = 1 then "y" else "ies")
+        let n = Effects.write_summary eff file in
+        Printf.eprintf "opxlint: wrote %d signature%s to %s\n" n
+          (if n = 1 then "" else "s")
           file;
         0
   end
   else begin
-    let entries =
-      match opts.baseline_file with
-      | None -> []
+    let d_findings =
+      List.concat_map
+        (fun u -> Rules.run_structure ~cfg ~file:u.lu_src u.lu_str)
+        units
+    in
+    let e4_findings, stale_summary =
+      match opts.summary_file with
+      | None -> ([], [])
       | Some file -> (
-          match Baseline.load file with
-          | Ok entries -> entries
+          match Effects.load_summary file with
+          | Ok entries -> Effects.e4_check eff entries
           | Error msgs ->
               List.iter prerr_endline msgs;
               exit 2)
     in
-    let fresh, absorbed, stale = Baseline.apply entries findings in
-    List.iter
-      (fun f -> print_endline (Finding.to_string f))
-      fresh;
-    List.iter
-      (fun (e : Baseline.entry) ->
-        Printf.eprintf
-          "opxlint: stale baseline entry '%s %s' (finding no longer \
-           present; remove it)\n"
-          (Finding.rule_name e.Baseline.b_rule)
-          e.Baseline.b_file)
-      stale;
-    Printf.eprintf "opxlint: %d file(s), %d finding(s), %d baselined\n"
-      (List.length cmts)
-      (List.length fresh + List.length absorbed)
-      (List.length absorbed);
-    match fresh with [] -> 0 | _ :: _ -> 1
+    let findings =
+      d_findings @ Effects.e1_findings eff @ Effects.e2_findings eff
+      @ Effects.e3_findings eff @ e4_findings
+    in
+    let findings =
+      findings
+      |> List.filter (fun (f : Finding.t) ->
+             List.exists (fun r -> r == f.Finding.rule) opts.rules)
+      |> List.filter (fun f -> not (path_allowed opts f))
+      |> List.sort Finding.order
+    in
+    if opts.write_baseline then begin
+      match opts.baseline_file with
+      | None ->
+          prerr_endline "opxlint: --write-baseline requires --baseline FILE";
+          exit 2
+      | Some file ->
+          Baseline.write file findings;
+          Printf.eprintf "opxlint: wrote %d entr%s to %s\n"
+            (List.length findings)
+            (if List.length findings = 1 then "y" else "ies")
+            file;
+          0
+    end
+    else begin
+      let entries =
+        match opts.baseline_file with
+        | None -> []
+        | Some file -> (
+            match Baseline.load file with
+            | Ok entries -> entries
+            | Error msgs ->
+                List.iter prerr_endline msgs;
+                exit 2)
+      in
+      let fresh, absorbed, stale = Baseline.apply entries findings in
+      if opts.json then
+        print_endline
+          (Report.to_json ~files:(List.length units) ~fresh
+             ~baselined:(List.length absorbed) ~stale_baseline:stale
+             ~stale_summary)
+      else List.iter (fun f -> print_endline (Finding.to_string f)) fresh;
+      (match opts.sarif_file with
+      | None -> ()
+      | Some file -> Report.write_file file (Report.to_sarif ~fresh));
+      List.iter
+        (fun (e : Baseline.entry) ->
+          Printf.eprintf
+            "opxlint: stale baseline entry '%s %s' (finding no longer \
+             present; remove it)%s\n"
+            (Finding.rule_name e.Baseline.b_rule)
+            e.Baseline.b_file
+            (if opts.strict then " [strict: error]" else ""))
+        stale;
+      List.iter
+        (fun key ->
+          Printf.eprintf
+            "opxlint: stale effects-summary entry '%s' (definition no \
+             longer present; regenerate with --write-effects)%s\n"
+            key
+            (if opts.strict then " [strict: error]" else ""))
+        stale_summary;
+      Printf.eprintf "opxlint: %d file(s), %d finding(s), %d baselined\n"
+        (List.length units)
+        (List.length fresh + List.length absorbed)
+        (List.length absorbed);
+      let stale_failure =
+        opts.strict
+        && ((match stale with _ :: _ -> true | [] -> false)
+           || (match stale_summary with _ :: _ -> true | [] -> false))
+      in
+      match (fresh, stale_failure) with
+      | [], false -> 0
+      | _, _ -> 1
+    end
   end

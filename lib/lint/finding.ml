@@ -3,9 +3,9 @@
     Findings print as [file:line rule message], the format grep, editors
     and the CI log all understand. *)
 
-type rule = D1 | D2 | D3 | D4 | D5
+type rule = D1 | D2 | D3 | D4 | D5 | E1 | E2 | E3 | E4
 
-let all_rules = [ D1; D2; D3; D4; D5 ]
+let all_rules = [ D1; D2; D3; D4; D5; E1; E2; E3; E4 ]
 
 let rule_name = function
   | D1 -> "D1"
@@ -13,6 +13,10 @@ let rule_name = function
   | D3 -> "D3"
   | D4 -> "D4"
   | D5 -> "D5"
+  | E1 -> "E1"
+  | E2 -> "E2"
+  | E3 -> "E3"
+  | E4 -> "E4"
 
 let rule_of_string s =
   match s with
@@ -21,6 +25,10 @@ let rule_of_string s =
   | "D3" -> Some D3
   | "D4" -> Some D4
   | "D5" -> Some D5
+  | "E1" -> Some E1
+  | "E2" -> Some E2
+  | "E3" -> Some E3
+  | "E4" -> Some E4
   | _ -> None
 
 let rule_doc = function
@@ -29,6 +37,10 @@ let rule_doc = function
   | D3 -> "wall-clock or ambient entropy in deterministic code"
   | D4 -> "wildcard match arm over a protocol variant type"
   | D5 -> "ignore of a value carrying protocol state"
+  | E1 -> "pure-marked function with an inferred write/io/ambient effect"
+  | E2 -> "send/emit effect invoked from a protocol handle/tick body"
+  | E3 -> "mutable toplevel state in a protocol library module"
+  | E4 -> "effect signature drift versus the committed effects summary"
 
 type t = { file : string; line : int; rule : rule; msg : string }
 

@@ -1,0 +1,101 @@
+(** Machine-readable finding reports: a compact JSON document for CI
+    artifacts and a minimal SARIF 2.1.0 log for code-scanning UIs. Both
+    renderings are deterministic — findings arrive already sorted by
+    [Finding.order] and are emitted in that order, with no timestamps. *)
+
+let buf_add_json_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let finding_fields buf (f : Finding.t) =
+  Buffer.add_string buf "{\"file\":";
+  buf_add_json_string buf f.Finding.file;
+  Buffer.add_string buf (Printf.sprintf ",\"line\":%d,\"rule\":" f.Finding.line);
+  buf_add_json_string buf (Finding.rule_name f.Finding.rule);
+  Buffer.add_string buf ",\"message\":";
+  buf_add_json_string buf f.Finding.msg;
+  Buffer.add_char buf '}'
+
+(** The JSON document printed by [opxlint --json]: schema-tagged, with the
+    fresh findings, the baseline absorption count, and both kinds of stale
+    ratchet entries (baseline lines and effects-summary keys) so CI can
+    enforce shrink-only baselines from the artifact alone. *)
+let to_json ~files ~fresh ~baselined ~stale_baseline ~stale_summary =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"schema\":\"opxlint/1\"";
+  Buffer.add_string buf (Printf.sprintf ",\"files\":%d" files);
+  Buffer.add_string buf ",\"findings\":[";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char buf ',';
+      finding_fields buf f)
+    fresh;
+  Buffer.add_string buf (Printf.sprintf "],\"baselined\":%d" baselined);
+  Buffer.add_string buf ",\"stale_baseline\":[";
+  List.iteri
+    (fun i (e : Baseline.entry) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "{\"rule\":";
+      buf_add_json_string buf (Finding.rule_name e.Baseline.b_rule);
+      Buffer.add_string buf ",\"file\":";
+      buf_add_json_string buf e.Baseline.b_file;
+      Buffer.add_char buf '}')
+    stale_baseline;
+  Buffer.add_string buf "],\"stale_summary\":[";
+  List.iteri
+    (fun i key ->
+      if i > 0 then Buffer.add_char buf ',';
+      buf_add_json_string buf key)
+    stale_summary;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+(** Minimal SARIF 2.1.0: one run, one rule descriptor per E/D rule, one
+    result per fresh finding. Enough for GitHub code scanning and editor
+    SARIF viewers. *)
+let to_sarif ~fresh =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    "{\"version\":\"2.1.0\",\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\"runs\":[{\"tool\":{\"driver\":{\"name\":\"opxlint\",\"rules\":[";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "{\"id\":";
+      buf_add_json_string buf (Finding.rule_name r);
+      Buffer.add_string buf ",\"shortDescription\":{\"text\":";
+      buf_add_json_string buf (Finding.rule_doc r);
+      Buffer.add_string buf "}}")
+    Finding.all_rules;
+  Buffer.add_string buf "]}},\"results\":[";
+  List.iteri
+    (fun i (f : Finding.t) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "{\"ruleId\":";
+      buf_add_json_string buf (Finding.rule_name f.Finding.rule);
+      Buffer.add_string buf ",\"level\":\"error\",\"message\":{\"text\":";
+      buf_add_json_string buf f.Finding.msg;
+      Buffer.add_string buf
+        "},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":{\"uri\":";
+      buf_add_json_string buf f.Finding.file;
+      Buffer.add_string buf
+        (Printf.sprintf "},\"region\":{\"startLine\":%d}}}]}" f.Finding.line))
+    fresh;
+  Buffer.add_string buf "]}]}";
+  Buffer.contents buf
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc

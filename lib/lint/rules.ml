@@ -55,7 +55,9 @@ let poly_compare_member path =
 
 let is_hashtbl_iteration path =
   match normalized_name path with
-  | "Hashtbl.iter" | "Hashtbl.fold" -> true
+  | "Hashtbl.iter" | "Hashtbl.fold" | "Hashtbl.to_seq" | "Hashtbl.to_seq_keys"
+  | "Hashtbl.to_seq_values" ->
+      true
   | _ -> false
 
 let is_sort_family path =

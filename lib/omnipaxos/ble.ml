@@ -1,4 +1,11 @@
-type msg =
+(* Effectful adapter around the pure BLE transition core ([Ble_core]).
+   Owns the mutable current state, the stable-storage ballot cell and the
+   transport/election callbacks; each driver call runs one [Ble_core.step]
+   and interprets the outputs in order. This module is the sanctioned
+   emission shim for BLE (allow_emit in effects.facts): everything that
+   decides is in the core, everything that performs is here. *)
+
+type msg = Ble_core.msg =
   | Hb_request of { round : int }
   | Hb_reply of { round : int; ballot : Ballot.t; qc : bool }
 
@@ -7,112 +14,55 @@ type persistent = { mutable ballot_n : int }
 let fresh_persistent () = { ballot_n = 1 }
 
 type t = {
-  id : int;
-  peers : int list;
-  quorum : int;
-  qc_signal : bool;
-  connectivity_priority : bool;
+  config : Ble_core.config;
   persistent : persistent;
   send : dst:int -> msg -> unit;
   on_leader : Ballot.t -> unit;
-  mutable ballot : Ballot.t;
-  mutable leader : Ballot.t option;
-  mutable qc : bool;
-  mutable round : int;
-  replies : (int, Ballot.t * bool) Hashtbl.t;
+  mutable state : Ble_core.state;
 }
 
 let create ~id ~peers ?(priority = 0) ?(qc_signal = true)
     ?(connectivity_priority = false) ~persistent ~send ~on_leader () =
-  let n_total = List.length peers + 1 in
+  let config =
+    Ble_core.make_config ~id ~peers ~qc_signal ~connectivity_priority ()
+  in
   {
-    id;
-    peers;
-    quorum = (n_total / 2) + 1;
-    qc_signal;
-    connectivity_priority;
+    config;
     persistent;
     send;
     on_leader;
-    ballot = { Ballot.n = persistent.ballot_n; priority; pid = id };
-    leader = None;
-    qc = false;
-    round = 0;
-    replies = Hashtbl.create 8;
+    state = Ble_core.init ~priority ~ballot_n:persistent.ballot_n config;
   }
 
-let current_ballot t = t.ballot
-let leader t = t.leader
-let is_quorum_connected t = t.qc
-
-let leader_ballot t = Option.value t.leader ~default:Ballot.bottom
+let current_ballot t = t.state.Ble_core.ballot
+let leader t = t.state.Ble_core.leader
+let is_quorum_connected t = t.state.Ble_core.qc
 
 let trace_ballot (b : Ballot.t) =
   { Obs.Event.n = b.Ballot.n; prio = b.priority; pid = b.pid }
 
-(* The checkLeader step of Figure 4, run when a heartbeat round closes. *)
-let check_round t =
-  let reply_list =
-    List.map snd (Replog.Det.sorted_bindings ~compare_key:Int.compare t.replies)
-  in
-  let connected = List.length reply_list + 1 in
-  if connected >= t.quorum then begin
-    t.qc <- true;
-    (* Candidates are the QC servers heard from this round, plus self.
-       Without the QC signal (ablation) every alive server is a candidate. *)
-    let candidates =
-      t.ballot
-      :: List.filter_map
-           (fun (b, qc) -> if qc || not t.qc_signal then Some b else None)
-           reply_list
-    in
-    let max_candidate = List.fold_left Ballot.max Ballot.bottom candidates in
-    let led = leader_ballot t in
-    if Ballot.(max_candidate > led) then begin
-      let first = Option.is_none t.leader in
-      t.leader <- Some max_candidate;
+let apply_output t (o : Ble_core.output) =
+  match o with
+  | Ble_core.Send { dst; msg } -> t.send ~dst msg
+  | Ble_core.Elected { ballot; first } ->
       if Obs.Trace.on () then
-        Obs.Trace.emit ~node:t.id
-          (if first then Obs.Event.Leader_elected (trace_ballot max_candidate)
-           else Obs.Event.Leader_changed (trace_ballot max_candidate));
-      t.on_leader max_candidate
-    end
-    else if Ballot.(max_candidate < led) then begin
-      (* The elected leader is dead or no longer quorum-connected: take over
-         by bumping our ballot above every ballot seen (including the stale
-         leader's), so we outrank it in the coming rounds. With the
-         connectivity optimisation of §8, the priority field carries how
-         many peers we currently hear, so the best-connected of the
-         simultaneous candidates wins the tie at the same round number. *)
-      let max_seen =
-        List.fold_left (fun acc (b, _) -> Ballot.max acc b) led reply_list
-      in
-      t.ballot <- Ballot.bump_above t.ballot max_seen;
-      if t.connectivity_priority then
-        t.ballot <- { t.ballot with Ballot.priority = connected };
-      t.persistent.ballot_n <- t.ballot.Ballot.n;
+        Obs.Trace.emit ~node:t.config.Ble_core.id
+          (if first then Obs.Event.Leader_elected (trace_ballot ballot)
+           else Obs.Event.Leader_changed (trace_ballot ballot));
+      t.on_leader ballot
+  | Ble_core.Ballot_bumped ballot ->
+      (* Persist before anything can observe the new ballot: LE3 requires
+         ballot numbers monotone across crashes. *)
+      t.persistent.ballot_n <- ballot.Ballot.n;
       if Obs.Trace.on () then
-        Obs.Trace.emit ~node:t.id
-          (Obs.Event.Ballot_increment (trace_ballot t.ballot))
-    end
-  end
-  else t.qc <- false
+        Obs.Trace.emit ~node:t.config.Ble_core.id
+          (Obs.Event.Ballot_increment (trace_ballot ballot))
 
-let tick t =
-  (* The first round only propagates QC flags: electing before peers have
-     reported their status would make every server elect itself. *)
-  if t.round >= 2 then check_round t
-  else if Hashtbl.length t.replies + 1 >= t.quorum then t.qc <- true;
-  Hashtbl.reset t.replies;
-  t.round <- t.round + 1;
-  let request = Hb_request { round = t.round } in
-  List.iter (fun peer -> t.send ~dst:peer request) t.peers
+let run t input =
+  let state, outputs = Ble_core.step t.config t.state input in
+  t.state <- state;
+  List.iter (apply_output t) outputs
 
-let handle t ~src msg =
-  match msg with
-  | Hb_request { round } ->
-      t.send ~dst:src (Hb_reply { round; ballot = t.ballot; qc = t.qc })
-  | Hb_reply { round; ballot; qc } ->
-      if round = t.round then Hashtbl.replace t.replies src (ballot, qc)
-
-let msg_size = function Hb_request _ -> 12 | Hb_reply _ -> 29
+let tick t = run t Ble_core.Tick
+let handle t ~src msg = run t (Ble_core.Deliver { src; msg })
+let msg_size = Ble_core.msg_size

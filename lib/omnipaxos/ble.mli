@@ -12,9 +12,14 @@
     (monotonically increasing unique ballots); see the test-suite properties.
 
     The module is transport-agnostic: it emits messages through the [send]
-    callback and is driven by [tick] (one call = one heartbeat round). *)
+    callback and is driven by [tick] (one call = one heartbeat round).
 
-type msg =
+    All election logic lives in the pure transition core [Ble_core]; this
+    module is the effectful adapter that owns the mutable state, interprets
+    the core's outputs (sends, traces, persistence, the [on_leader] signal)
+    and keeps the historical callback API for the simnet harness. *)
+
+type msg = Ble_core.msg =
   | Hb_request of { round : int }
   | Hb_reply of { round : int; ballot : Ballot.t; qc : bool }
 

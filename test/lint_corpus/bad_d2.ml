@@ -11,3 +11,11 @@ let collect (tbl : (int, string) Hashtbl.t) =
 (* A fold that feeds a sort directly is canonicalized and stays clean. *)
 let sorted (tbl : (int, string) Hashtbl.t) =
   List.sort Int.compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
+
+(* to_seq is the same unordered iteration in Seq clothing. *)
+let ids (tbl : (int, string) Hashtbl.t) = List.of_seq (Hashtbl.to_seq_keys tbl)
+let pairs (tbl : (int, string) Hashtbl.t) = Hashtbl.to_seq tbl |> List.of_seq
+
+(* ...and feeding it straight into a sort stays clean. *)
+let vals (tbl : (int, string) Hashtbl.t) =
+  List.sort String.compare (List.of_seq (Hashtbl.to_seq_values tbl))

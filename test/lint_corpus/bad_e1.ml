@@ -1,0 +1,14 @@
+(* E1 corpus: [@pure]-marked (or manifest-listed) functions with inferred
+   write/io effects. [manifest_widen] has no attribute — corpus.facts lists
+   it under pure_core. *)
+
+type counter = { mutable count : int }
+
+let[@pure] bump (c : counter) = c.count <- c.count + 1
+let[@pure] log_step n = print_string (string_of_int n)
+let manifest_widen (tbl : (int, int) Hashtbl.t) = Hashtbl.replace tbl 0 0
+
+(* Reads-only observation is not an E1 violation; neither is an unmarked
+   writer. *)
+let[@pure] total (c : counter) = c.count
+let untracked_bump (c : counter) = c.count <- 0

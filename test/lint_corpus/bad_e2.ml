@@ -1,0 +1,26 @@
+(* E2 corpus: protocol handle/tick bodies performing sends. corpus.facts
+   puts this file in a protocol_dir, so [handle] and [tick] are handler
+   scope; [helper] is not a handler name and stays clean. *)
+
+type msg = Ping of int | Pong of int
+type t = { mutable last : int; send : dst:int -> msg -> unit }
+
+let emit_now t m = t.send ~dst:0 m
+
+let handle t ~src msg =
+  match msg with
+  | Ping n -> t.send ~dst:src (Pong n)
+  | Pong n -> t.last <- n
+
+let tick t outs =
+  t.send ~dst:1 (Ping 0);
+  emit_now t (Ping 1);
+  (* Applying a declared argument is the sanctioned output-accumulator
+     shape: exempt. *)
+  outs (Ping 2)
+
+let helper t = t.send ~dst:2 (Ping 3)
+
+(* Suppressed: the expression-level allow absorbs the emission. *)
+let handle_leader t =
+  (t.send ~dst:3 (Ping 4)) [@lint.allow "E2"]

@@ -1,0 +1,20 @@
+(* E3 corpus: mutable toplevel state in a protocol library module
+   (corpus.facts puts this file in a protocol_dir). *)
+
+let table : (int, int) Hashtbl.t = Hashtbl.create 8
+let counter = ref 0
+let scratch = Buffer.create 64
+
+type cell = { mutable v : int }
+
+let global_cell = { v = 0 }
+
+(* Clean: immutable toplevel value, and functions returning mutable state. *)
+let limit = 42
+let lookup k = Hashtbl.find_opt table k
+let make_cell () = { v = 1 }
+
+(* Sanctioned shims: the binding-level allow and the
+   allow_mutable_toplevel manifest entry in corpus.facts. *)
+let[@lint.allow "E3"] quiet_table : (int, int) Hashtbl.t = Hashtbl.create 8
+let sanctioned_cache : (int, int) Hashtbl.t = Hashtbl.create 8

@@ -1,0 +1,9 @@
+(* E4 corpus, exercised by the separate --rules E4 run against e4.summary:
+   [step] is recorded there as pure but now writes (widened), the recorded
+   [gone] no longer exists (stale), and [fresh] is new in a ratcheted
+   module. *)
+
+type cell = { mutable v : int }
+
+let step (c : cell) = c.v <- c.v + 1
+let fresh x = x + 1

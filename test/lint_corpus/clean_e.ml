@@ -1,0 +1,8 @@
+(* Clean pure-core fixture: listed under pure_core in corpus.facts and
+   [@pure]-annotated, with every definition inferring pure. *)
+
+type state = { n : int; history : int list }
+
+let[@pure] step s = { n = s.n + 1; history = s.n :: s.history }
+let[@pure] total s = List.fold_left ( + ) s.n s.history
+let[@pure] merge a b = if a.n >= b.n then a else b

@@ -1,0 +1,15 @@
+(* Fixture for the `opxlint --effects` table golden: one function per
+   effect-signature class, plus one that unites them all through calls. *)
+
+type cell = { mutable v : int }
+
+let pure_add a b = a + b
+let observe (c : cell) = c.v
+let mutate (c : cell) n = c.v <- n
+let speak () = print_endline "fixture"
+let clock () = Sys.time ()
+
+let everything c =
+  mutate c (pure_add (observe c) 1);
+  speak ();
+  int_of_float (clock ())

@@ -10,3 +10,7 @@ let collect (tbl : (int, string) Hashtbl.t) =
 type msg = Ping of int | Pong of int
 
 let is_ping = function Ping _ -> true | _ [@lint.allow "D4"] -> false
+
+type counter = { mutable count : int }
+
+let[@pure] [@lint.allow "E1"] quiet_bump (c : counter) = c.count <- 0
