@@ -745,10 +745,48 @@ let run_profile ~quick ~print =
   in
   envelope ~section:"profile" ~seeds ~quick ~rows:(J.List json_rows)
 
+(* ------------------------------------------------------------------ *)
+(* Compaction: lagging-follower repair cost                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_compaction ~quick ~print =
+  header print
+    "Compaction: lagging-follower catch-up, snapshot install vs log replay\n\
+     (a follower that missed N decided entries is repaired with O(state)\n\
+     bytes when snapshotting is on, O(log) bytes when it is off)";
+  let seeds = [ 3 ] in
+  let entries = if quick then 2_000 else 10_000 in
+  let rows = E.compaction_catch_up ~seed:3 ~entries () in
+  say print "%-14s %-10s %8s %12s %12s %7s %10s\n" "protocol" "snapshots"
+    "lag" "catchup-ms" "bytes" "caught" "installed";
+  List.iter
+    (fun (name, on, (p : E.catch_up_point)) ->
+      say print "%-14s %-10s %8d %12.1f %12d %7s %10s\n" name
+        (if on then "on" else "off")
+        p.E.cu_lag p.E.cu_ms p.E.cu_bytes (mark p.E.cu_caught)
+        (if p.E.cu_installed then "yes" else "no"))
+    rows;
+  let json_rows =
+    List.map
+      (fun (name, on, (p : E.catch_up_point)) ->
+        J.Obj
+          [
+            ("protocol", J.String name);
+            ("snapshots", J.Bool on);
+            ("lag_entries", J.Int p.E.cu_lag);
+            ("catchup_ms", J.float p.E.cu_ms);
+            ("catchup_bytes", J.Int p.E.cu_bytes);
+            ("caught_up", J.Bool p.E.cu_caught);
+            ("snapshot_installed", J.Bool p.E.cu_installed);
+          ])
+      rows
+  in
+  envelope ~section:"compaction" ~seeds ~quick ~rows:(J.List json_rows)
+
 let all_names =
   [
     "table1"; "fig7"; "fig8a"; "fig8b"; "fig8c"; "fig9a"; "fig9b"; "fig9c";
-    "ablations"; "policy"; "micro"; "recovery"; "profile";
+    "ablations"; "policy"; "micro"; "recovery"; "profile"; "compaction";
   ]
 
 let run name ~quick ~print =
@@ -805,4 +843,5 @@ let run name ~quick ~print =
   | "micro" -> Some (run_micro ~quick ~print)
   | "recovery" -> Some (run_recovery ~quick ~print)
   | "profile" -> Some (run_profile ~quick ~print)
+  | "compaction" -> Some (run_compaction ~quick ~print)
   | _ -> None

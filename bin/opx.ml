@@ -450,7 +450,7 @@ let trace_cmd =
 (* ---------------- chaos ---------------- *)
 
 let chaos_cmd =
-  let run proto episodes seed servers clients steps trace =
+  let run proto episodes seed servers clients steps compaction trace =
     let runner =
       match Chaos.Campaign.find_runner proto with
       | Some r -> r
@@ -468,6 +468,9 @@ let chaos_cmd =
         n = servers;
         clients;
         steps;
+        compaction =
+          (if compaction > 0 then Omnipaxos.Compaction.make ~retain:4 compaction
+           else Omnipaxos.Compaction.disabled);
       }
     in
     let s = runner.Chaos.Campaign.cr_run cfg ~seed ~episodes in
@@ -517,6 +520,15 @@ let chaos_cmd =
       value & opt int 12
       & info [ "steps" ] ~doc:"Nemesis fault opcodes per episode.")
   in
+  let compaction =
+    Arg.(
+      value & opt int 0
+      & info [ "compaction" ] ~docv:"N"
+          ~doc:
+            "Enable snapshot/compaction on every server with \
+             snapshot_interval $(docv) (retain 4); 0 (the default) leaves \
+             compaction off, matching prior campaign seeds byte for byte.")
+  in
   let trace =
     Arg.(
       value
@@ -534,7 +546,8 @@ let chaos_cmd =
           schedules are shrunk to a minimal fault list (non-zero exit on a \
           violation)")
     Term.(
-      const run $ proto $ episodes $ seed $ servers $ clients $ steps $ trace)
+      const run $ proto $ episodes $ seed $ servers $ clients $ steps
+      $ compaction $ trace)
 
 (* ---------------- metrics / top ---------------- *)
 

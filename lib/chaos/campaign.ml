@@ -15,6 +15,7 @@ type config = {
   op_timeout_ms : float;
   latency_ms : float;
   max_states : int;
+  compaction : Omnipaxos.Compaction.config;
 }
 
 let default_config =
@@ -31,6 +32,7 @@ let default_config =
     op_timeout_ms = 300.0;
     latency_ms = 5.0;
     max_states = 2_000_000;
+    compaction = Omnipaxos.Compaction.disabled;
   }
 
 type episode = {
@@ -117,6 +119,7 @@ module Make (P : Rsm.Protocol.PROTOCOL) = struct
           egress_bw = infinity;
           seed;
           batching = Omnipaxos.Batching.fixed;
+          compaction = cfg.compaction;
         }
     in
     let net = C.net t in
@@ -129,8 +132,25 @@ module Make (P : Rsm.Protocol.PROTOCOL) = struct
     in
     let kvs = Array.init cfg.n (fun _ -> Replog.Kv.create ()) in
     let scanned = Array.make cfg.n 0 in
+    let installs = Array.make cfg.n 0 in
     let advance () =
       for i = 0 to cfg.n - 1 do
+        (* A snapshot install replaced server [i]'s state below the trim
+           point: jump its oracle replica to the installed state and resume
+           applying at the recorded stream position. Decided ids this server
+           never streamed (their effects arrived inside the snapshot) simply
+           record no response here — those operations stay pending, which
+           the linearizability checker treats soundly. *)
+        (match P.last_install (C.node t i) with
+        | Some inst when inst.Rsm.Protocol.inst_seq > installs.(i) ->
+            installs.(i) <- inst.Rsm.Protocol.inst_seq;
+            (match Replog.Snapshot.decode inst.Rsm.Protocol.inst_payload with
+            | Ok s ->
+                kvs.(i) <- Replog.Snapshot.restore s;
+                scanned.(i) <-
+                  max scanned.(i) inst.Rsm.Protocol.inst_cache_len
+            | Error _ -> ())
+        | Some _ | None -> ());
         let ids = P.decided_ids (C.node t i) ~from:scanned.(i) in
         List.iter
           (fun id ->
@@ -186,12 +206,26 @@ module Make (P : Rsm.Protocol.PROTOCOL) = struct
         }
     in
     let clients = Array.init cfg.clients make_client in
+    (* Compaction events per node, fed from the trace stream (the campaign
+       runs with tracing on); guards [Restart_after_trim]. Pure observation:
+       no emission, no randomness, so episodes stay replayable. *)
+    let trim_counts = Array.make cfg.n 0 in
+    let count_trims (ev : Obs.Event.t) =
+      match ev.Obs.Event.kind with
+      | Obs.Event.Log_trimmed _
+        when ev.Obs.Event.node >= 0 && ev.Obs.Event.node < cfg.n ->
+          trim_counts.(ev.Obs.Event.node) <-
+            trim_counts.(ev.Obs.Event.node) + 1
+      | _ [@lint.allow "D4"] -> ()
+    in
+    let trim_sink = Obs.Trace.subscribe count_trims in
     let env =
       {
         Nemesis.net;
         crash_node = C.crash t;
         recover_node = C.recover t;
         base_latency = cfg.latency_ms;
+        trim_count = (fun i -> trim_counts.(i));
       }
     in
     let nst = Nemesis.initial ~n:cfg.n in
@@ -209,6 +243,7 @@ module Make (P : Rsm.Protocol.PROTOCOL) = struct
     Obs.Trace.set_enabled true;
     Fun.protect
       ~finally:(fun () ->
+        Obs.Trace.unsubscribe trim_sink;
         Obs.Trace.unsubscribe sink;
         Obs.Trace.set_enabled was_enabled)
       (fun () ->

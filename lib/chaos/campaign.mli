@@ -26,6 +26,9 @@ type config = {
   op_timeout_ms : float;  (** client gives up on an operation after this *)
   latency_ms : float;
   max_states : int;  (** checker budget per key *)
+  compaction : Omnipaxos.Compaction.config;
+      (** snapshot-and-trim trigger threaded to every server (default
+          disabled); the response oracle follows snapshot installs *)
 }
 
 val default_config : config

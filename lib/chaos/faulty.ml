@@ -14,9 +14,11 @@ module Make (P : Rsm.Protocol.PROTOCOL) = struct
 
   let name = P.name ^ " (stale reads)"
 
-  let create ?batching ~id ~peers ~election_ticks ~rand ~send () =
+  let create ?batching ?compaction ~id ~peers ~election_ticks ~rand ~send () =
     {
-      inner = P.create ?batching ~id ~peers ~election_ticks ~rand ~send ();
+      inner =
+        P.create ?batching ?compaction ~id ~peers ~election_ticks ~rand ~send
+          ();
       cache = Rsm.Protocol.Decided_cache.create ();
       scanned = 0;
     }
@@ -55,6 +57,12 @@ module Make (P : Rsm.Protocol.PROTOCOL) = struct
   let decided_ids t ~from =
     sync t;
     Rsm.Protocol.Decided_cache.ids_from t.cache ~from
+
+  (* Forwarded as-is: [inst_cache_len] counts the inner stream, which can
+     sit below this wrapper's id stream once reads were injected — fine for
+     a deliberately-buggy adapter whose runs the checker must flag. *)
+  let decided_index t = P.decided_index t.inner
+  let last_install t = P.last_install t.inner
 
   let msg_size = P.msg_size
 end

@@ -15,6 +15,7 @@ type fault =
   | Chain of int list
   | Latency_spike of { a : int; b : int; ms : float }
   | Reset_session of int * int
+  | Restart_after_trim of int
 
 let pp_fault ppf = function
   | Crash i -> Format.fprintf ppf "crash(%d)" i
@@ -32,6 +33,7 @@ let pp_fault ppf = function
   | Latency_spike { a; b; ms } ->
       Format.fprintf ppf "latency(%d,%d,%.1fms)" a b ms
   | Reset_session (a, b) -> Format.fprintf ppf "reset-session(%d,%d)" a b
+  | Restart_after_trim i -> Format.fprintf ppf "restart-after-trim(%d)" i
 
 let fault_to_string f = Format.asprintf "%a" pp_fault f
 
@@ -81,6 +83,9 @@ type 'm env = {
   crash_node : int -> unit;
   recover_node : int -> unit;
   base_latency : float;
+  trim_count : int -> int;
+      (* compaction events observed at a node so far; feeds the
+         [Restart_after_trim] guard *)
 }
 
 type state = { n : int; down : bool array }
@@ -167,6 +172,18 @@ let execute env st fault =
   | Reset_session (a, b) ->
       Net.reset_session env.net a b;
       true
+  | Restart_after_trim i ->
+      (* Crash-restart a node right after it compacted: the node comes back
+         on a log that starts at the trim point, so its recovery (and any
+         catch-up of what it missed while down) must go through the
+         snapshot, not entry replay. Guarded on an observed compaction so
+         random interleavings cannot turn it into a plain bounce. *)
+      if (not st.down.(i)) && env.trim_count i > 0 then begin
+        env.crash_node i;
+        env.recover_node i;
+        true
+      end
+      else false
 
 let apply env st ~step fault =
   let applied = execute env st fault in

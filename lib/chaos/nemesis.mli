@@ -28,6 +28,11 @@ type fault =
   | Latency_spike of { a : int; b : int; ms : float }
   | Reset_session of int * int
       (** transport-session drop/re-establish without a topology change *)
+  | Restart_after_trim of int
+      (** crash-restart the node once it has compacted its log, so recovery
+          crosses the compaction boundary (snapshot + trimmed log); skipped
+          until a compaction event has been observed at that node. Never
+          drawn by {!random_schedule} — for explicit schedules only. *)
 
 val pp_fault : Format.formatter -> fault -> unit
 val fault_to_string : fault -> string
@@ -48,6 +53,9 @@ type 'm env = {
   crash_node : int -> unit;  (** cluster-aware crash (drops the node) *)
   recover_node : int -> unit;  (** cluster-aware fail-recovery restart *)
   base_latency : float;  (** restored by [Heal_all] and {!heal} *)
+  trim_count : int -> int;
+      (** compaction events observed at a node so far (the campaign feeds
+          this from the trace stream); guards [Restart_after_trim] *)
 }
 
 type state

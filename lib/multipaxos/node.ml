@@ -21,6 +21,7 @@ type msg =
   | Decided_watermark of { b : ballot; upto : int }
   | Decision of { start_slot : int; cmds : Command.t list }
   | Decision_req of { from : int }
+  | Snapshot of { idx : int; payload : string }
 
 type state = Passive | Scouting | Active
 
@@ -73,6 +74,14 @@ type t = {
   eager_batch : int;  (* 0 = flush only on tick *)
   (* Learner state. *)
   decided : Command.t Log.t;
+  (* Compaction: [app] is the state machine covering exactly
+     [0, first_idx decided); slots below the trim point survive only there. *)
+  snapshot_interval : int;  (* 0 = compaction off *)
+  retain : int;
+  on_compact : upto:int -> entries:int -> unit;
+  on_install : int -> string -> unit;
+  mutable app : Replog.Kv.t;
+  mutable snap_client_cmds : int;
 }
 
 let noop_id = -1
@@ -84,7 +93,9 @@ let noop_id = -1
 let decided_ballot pid = { n = max_int; pid }
 
 let create ~id ~peers ~election_ticks ~rand ?(max_batch = 4096)
-    ?(eager_batch = 0) ~send ?(on_decide = fun _ -> ()) () =
+    ?(eager_batch = 0) ?(snapshot_interval = 0) ?(retain = 0)
+    ?(on_compact = fun ~upto:_ ~entries:_ -> ()) ?(on_install = fun _ _ -> ())
+    ~send ?(on_decide = fun _ -> ()) () =
   let n_total = List.length peers + 1 in
   {
     id;
@@ -113,6 +124,12 @@ let create ~id ~peers ~election_ticks ~rand ?(max_batch = 4096)
     max_batch = max 1 max_batch;
     eager_batch;
     decided = Log.create ();
+    snapshot_interval = max 0 snapshot_interval;
+    retain = max 0 retain;
+    on_compact;
+    on_install;
+    app = Replog.Kv.create ();
+    snap_client_cmds = 0;
   }
 
 let bit i = 1 lsl i
@@ -132,6 +149,37 @@ let trim_accepted t =
     Hashtbl.remove t.accepted t.acc_trim;
     t.acc_trim <- t.acc_trim + 1
   done
+
+(* Fold the decided prefix below [upto] into the state machine, then trim.
+   Purely local: every server compacts below its own decided watermark, and
+   stragglers that later ask for discarded slots get the snapshot instead. *)
+let compact_below t ~upto =
+  let floor = Log.first_idx t.decided in
+  if upto > floor then begin
+    List.iter
+      (fun (c : Command.t) ->
+        (match Replog.Kv.apply t.app c with
+        | Replog.Kv.Ok_unit | Replog.Kv.Value _ -> ());
+        if c.Command.id >= 0 then
+          t.snap_client_cmds <- t.snap_client_cmds + 1)
+      (Log.sub t.decided ~pos:floor ~len:(upto - floor));
+    Log.trim t.decided ~upto;
+    t.on_compact ~upto ~entries:(upto - floor)
+  end
+
+let maybe_compact t =
+  if t.snapshot_interval > 0 then begin
+    let len = Log.length t.decided in
+    if len - Log.first_idx t.decided >= t.snapshot_interval then
+      compact_below t ~upto:(len - t.retain)
+  end
+
+let send_snapshot t ~dst =
+  let idx = Log.first_idx t.decided in
+  let payload =
+    Replog.Snapshot.encode ~last_idx:idx ~client_cmds:t.snap_client_cmds t.app
+  in
+  t.send ~dst (Snapshot { idx; payload })
 
 (* Followers hold the decided values in their accepted slots already, so the
    leader only broadcasts a watermark; full values are re-sent on demand
@@ -156,7 +204,8 @@ let advance_decided_prefix t =
   if !advanced then begin
     trim_accepted t;
     t.on_decide (Log.length t.decided);
-    broadcast_decisions t
+    broadcast_decisions t;
+    maybe_compact t
   end
 
 (* Marks the slot committed; the caller advances the decided prefix once per
@@ -252,8 +301,10 @@ let own_accepted_from t from_slot =
     (Replog.Det.sorted_bindings ~compare_key:Int.compare t.accepted)
 
 (* Decided slots may have been trimmed from [accepted]; report them with the
-   sentinel ballot. *)
+   sentinel ballot. Slots below the trim point live only in the snapshot,
+   which the caller ships separately — clamp to what the log still holds. *)
 let p1b_payload t from_slot =
+  let from_slot = max from_slot (Log.first_idx t.decided) in
   let decided_part =
     let len = Log.length t.decided in
     if from_slot >= len then []
@@ -283,6 +334,9 @@ let on_p1a t ~src ~b ~from_slot =
   if ballot_compare b t.prom > 0 then begin
     t.prom <- b;
     t.max_seen <- ballot_max t.max_seen b;
+    (* A scout below our trim point cannot learn those decided slots from
+       the P1b; ship the snapshot first so it catches up before adopting. *)
+    if from_slot < Log.first_idx t.decided then send_snapshot t ~dst:src;
     t.send ~dst:src (P1b { b; accepted = p1b_payload t from_slot })
   end
   else t.send ~dst:src (Preempted { b = t.prom })
@@ -366,7 +420,8 @@ let on_watermark t ~src ~b ~upto =
   go ();
   if !progressed then begin
     trim_accepted t;
-    t.on_decide (Log.length t.decided)
+    t.on_decide (Log.length t.decided);
+    maybe_compact t
   end
 
 let on_decision t ~src ~start_slot ~cmds =
@@ -378,14 +433,39 @@ let on_decision t ~src ~start_slot ~cmds =
     if not (List.is_empty fresh) then begin
       Log.append_list t.decided fresh;
       trim_accepted t;
-      t.on_decide (Log.length t.decided)
+      t.on_decide (Log.length t.decided);
+      maybe_compact t
     end
   end
 
 let on_decision_req t ~src ~from =
-  if from < Log.length t.decided then
+  let floor = Log.first_idx t.decided in
+  if from < floor then begin
+    (* The requested prefix was compacted away: ship the snapshot, plus the
+       still-logged tail so the straggler lands at our watermark. *)
+    send_snapshot t ~dst:src;
+    if floor < Log.length t.decided then
+      t.send ~dst:src
+        (Decision { start_slot = floor; cmds = Log.suffix t.decided ~from:floor })
+  end
+  else if from < Log.length t.decided then
     t.send ~dst:src
       (Decision { start_slot = from; cmds = Log.suffix t.decided ~from })
+
+(* Install a peer's snapshot: replace everything below [idx] with the shipped
+   state and restart the decided log there. Only ever a jump forward — a
+   stale or duplicate snapshot is ignored. *)
+let on_snapshot t ~idx ~payload =
+  if idx > Log.length t.decided then
+    match Replog.Snapshot.decode payload with
+    | Ok s ->
+        t.app <- Replog.Snapshot.restore s;
+        t.snap_client_cmds <- s.Replog.Snapshot.client_cmds;
+        Log.reset_to t.decided ~offset:idx;
+        trim_accepted t;
+        t.on_install idx payload;
+        t.on_decide (Log.length t.decided)
+    | Error _ -> ()
 
 let handle t ~src msg =
   Hashtbl.replace t.last_heard src t.tick_count;
@@ -399,6 +479,7 @@ let handle t ~src msg =
   | Decided_watermark { b; upto } -> on_watermark t ~src ~b ~upto
   | Decision { start_slot; cmds } -> on_decision t ~src ~start_slot ~cmds
   | Decision_req { from } -> on_decision_req t ~src ~from
+  | Snapshot { idx; payload } -> on_snapshot t ~idx ~payload
 
 (* Retransmit batches for old uncommitted slots (covers lost messages). *)
 let retransmit_uncommitted t =
@@ -477,6 +558,13 @@ let leader_pid t =
 let current_ballot t = t.ballot
 let decided_log t = t.decided
 let decided_length t = Log.length t.decided
+let first_idx t = Log.first_idx t.decided
+let snapshot_client_cmds t = t.snap_client_cmds
+
+let snapshot t =
+  Replog.Snapshot.encode
+    ~last_idx:(Log.first_idx t.decided)
+    ~client_cmds:t.snap_client_cmds t.app
 let next_slot t = t.next_slot
 
 let cmds_size cmds = List.fold_left (fun acc c -> acc + Command.size c) 0 cmds
@@ -493,3 +581,4 @@ let msg_size = function
   | Decided_watermark _ -> 25
   | Decision { cmds; _ } -> 17 + cmds_size cmds
   | Decision_req _ -> 17
+  | Snapshot { payload; _ } -> 17 + String.length payload

@@ -40,6 +40,9 @@ type msg =
       (** learners promote matching accepted slots to decided *)
   | Decision of { start_slot : int; cmds : Replog.Command.t list }
   | Decision_req of { from : int }
+  | Snapshot of { idx : int; payload : string }
+      (** a {!Replog.Snapshot} envelope covering slots [0, idx), sent to
+          servers that ask for slots below the sender's trim point *)
 
 type state = Passive | Scouting | Active
 
@@ -52,6 +55,10 @@ val create :
   rand:Random.State.t ->
   ?max_batch:int ->
   ?eager_batch:int ->
+  ?snapshot_interval:int ->
+  ?retain:int ->
+  ?on_compact:(upto:int -> entries:int -> unit) ->
+  ?on_install:(int -> string -> unit) ->
   send:(dst:int -> msg -> unit) ->
   ?on_decide:(int -> unit) ->
   unit ->
@@ -59,7 +66,15 @@ val create :
 (** [max_batch] (default 4096) caps commands per P2a; [eager_batch]
     (default 0 = off) flushes pending proposals as soon as that many slots
     are queued instead of waiting for the next tick — the Multi-Paxos
-    mirror of the Omni-Paxos adaptive batching knob. *)
+    mirror of the Omni-Paxos adaptive batching knob.
+
+    [snapshot_interval] (default 0 = off) enables local log compaction: once
+    that many decided slots accumulate above the trim point, the server folds
+    the decided prefix (except the last [retain] slots, default 0) into its
+    KV snapshot and trims the decided log. Requests for discarded slots
+    (catch-up, scouts below the trim point) are answered with a [Snapshot]
+    message instead. [on_compact] fires after each local trim, [on_install]
+    after installing a peer's snapshot. *)
 
 val handle : t -> src:int -> msg -> unit
 val tick : t -> unit
@@ -74,6 +89,15 @@ val decided_log : t -> Replog.Command.t Replog.Log.t
     which have negative ids). *)
 
 val decided_length : t -> int
+
+val first_idx : t -> int
+(** The decided log's trim point: slots below it live only in the snapshot. *)
+
+val snapshot_client_cmds : t -> int
+(** Client commands (id >= 0) contained in the trimmed prefix. *)
+
+val snapshot : t -> string
+(** The encoded {!Replog.Snapshot} envelope covering [0, first_idx). *)
 
 val next_slot : t -> int
 (** Leader-side: the next free slot (slots below it hold proposals). *)

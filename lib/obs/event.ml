@@ -31,6 +31,9 @@ type kind =
       session : int;
       send_id : int;
     }
+  | Snapshot_taken of { idx : int; bytes : int }
+  | Snapshot_installed of { idx : int; bytes : int }
+  | Log_trimmed of { upto : int; entries : int }
   | Chaos_fault of { step : int; fault : string }
   | Chaos_invoke of { client : int; op_id : int; op : string }
   | Chaos_response of { client : int; op_id : int; result : string }
@@ -60,6 +63,9 @@ let kind_name = function
   | Msg_send _ -> "send"
   | Msg_deliver _ -> "deliver"
   | Msg_drop _ -> "drop"
+  | Snapshot_taken _ -> "snapshot_taken"
+  | Snapshot_installed _ -> "snapshot_installed"
+  | Log_trimmed _ -> "log_trimmed"
   | Chaos_fault _ -> "chaos_fault"
   | Chaos_invoke _ -> "chaos_invoke"
   | Chaos_response _ -> "chaos_response"
@@ -135,6 +141,10 @@ let to_json e =
         Printf.sprintf
           {|"src":%d,"dst":%d,"reason":"%s","session":%d,"send_id":%d|} src
           dst (escape reason) session send_id
+    | Snapshot_taken { idx; bytes } | Snapshot_installed { idx; bytes } ->
+        Printf.sprintf {|"idx":%d,"bytes":%d|} idx bytes
+    | Log_trimmed { upto; entries } ->
+        Printf.sprintf {|"upto":%d,"entries":%d|} upto entries
     | Chaos_fault { step; fault } ->
         Printf.sprintf {|"step":%d,"fault":"%s"|} step (escape fault)
     | Chaos_invoke { client; op_id; op } ->
@@ -276,6 +286,18 @@ let of_json line =
         let* session = int "session" in
         let* send_id = int "send_id" in
         Ok (Msg_drop { src; dst; reason; session; send_id })
+    | "snapshot_taken" ->
+        let* idx = int "idx" in
+        let* bytes = int "bytes" in
+        Ok (Snapshot_taken { idx; bytes })
+    | "snapshot_installed" ->
+        let* idx = int "idx" in
+        let* bytes = int "bytes" in
+        Ok (Snapshot_installed { idx; bytes })
+    | "log_trimmed" ->
+        let* upto = int "upto" in
+        let* entries = int "entries" in
+        Ok (Log_trimmed { upto; entries })
     | "chaos_fault" ->
         let* step = int "step" in
         let* fault = str "fault" in

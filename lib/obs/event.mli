@@ -62,6 +62,15 @@ type kind =
           "stale-session" drop can be tied to the [Session_drop] that
           invalidated it); [send_id] is [-1] when the message was refused at
           send time and no [Msg_send] was ever emitted. *)
+  | Snapshot_taken of { idx : int; bytes : int }
+      (** Compaction: the node materialised a state snapshot covering log
+          indexes [0, idx); [bytes] is the encoded snapshot size. *)
+  | Snapshot_installed of { idx : int; bytes : int }
+      (** A lagging/recovering node installed a received snapshot covering
+          [0, idx) and restarted its log there. *)
+  | Log_trimmed of { upto : int; entries : int }
+      (** The node discarded [entries] log entries below absolute index
+          [upto] (indexing stays absolute; see [Replog.Log.trim]). *)
   | Chaos_fault of { step : int; fault : string }
       (** A chaos-campaign nemesis applied a fault ([fault] is its compact
           rendering, e.g. "crash(2)"); [node] is -1 for cluster-wide faults. *)

@@ -1,0 +1,15 @@
+(* Snapshot/compaction trigger policy. See compaction.mli. *)
+
+type config = { snapshot_interval : int; retain : int }
+
+let disabled = { snapshot_interval = 0; retain = 0 }
+let enabled c = c.snapshot_interval > 0
+
+let validated c =
+  if c.snapshot_interval < 0 then
+    invalid_arg "Compaction.validated: snapshot_interval < 0";
+  if c.retain < 0 then invalid_arg "Compaction.validated: retain < 0";
+  c
+
+let make ?(retain = 0) snapshot_interval =
+  validated { snapshot_interval; retain }

@@ -1,0 +1,36 @@
+(** Snapshot/compaction trigger policy, shared by all four protocols via
+    [Rsm.Cluster.config].
+
+    When enabled, a node snapshots its state machine and truncates the log
+    below the snapshot watermark once the retained decided prefix reaches
+    [snapshot_interval] entries. [retain] keeps that many of the newest
+    decided entries in the log past the watermark, so slightly-lagging
+    followers can still be caught up with plain log entries instead of a
+    full snapshot transfer.
+
+    In Omni-Paxos the trigger runs on the leader against a quorum-confirmed
+    acceptance watermark and propagates to followers with the [Trim]
+    message; Raft and Multi-Paxos compact locally below their own
+    commit/decide watermark (the classic local decision); VR inherits the
+    Sequence Paxos behaviour. A follower that was trimmed past (crash,
+    partition) is repaired with a snapshot install instead of log entries —
+    see DESIGN.md section 12. *)
+
+type config = {
+  snapshot_interval : int;
+      (** take a snapshot every time this many decided-but-untrimmed
+          entries accumulate; [0] disables compaction entirely *)
+  retain : int;  (** decided entries to keep in the log below the frontier *)
+}
+
+val disabled : config
+(** [{snapshot_interval = 0; retain = 0}] — never compacts (the default
+    everywhere, so workloads that never opt in are byte-identical). *)
+
+val enabled : config -> bool
+
+val make : ?retain:int -> int -> config
+(** [make ?retain snapshot_interval], validated. *)
+
+val validated : config -> config
+(** Raises [Invalid_argument] on negative fields. *)

@@ -15,8 +15,8 @@ type t = {
 }
 
 let create ~id ~peers ?priority ?qc_signal ?connectivity_priority
-    ?(hb_ticks = 10) ?batching ~storage ~send ?on_decide ?snapshotter
-    ?on_snapshot () =
+    ?(hb_ticks = 10) ?batching ?compaction ~storage ~send ?on_decide
+    ?snapshotter ?on_snapshot () =
   let sp_ref = ref None in
   let ble =
     Ble.create ~id ~peers ?priority ?qc_signal ?connectivity_priority
@@ -30,6 +30,7 @@ let create ~id ~peers ?priority ?qc_signal ?connectivity_priority
   in
   let sp =
     Sequence_paxos.create ~id ~peers ~persistent:storage.Storage.sp ?batching
+      ?compaction
       ~send:(fun ~dst m -> send ~dst (Sp_msg m))
       ?on_decide ?snapshotter ?on_snapshot ()
   in
@@ -75,6 +76,9 @@ let propose_reconfigure t ~config_id ~nodes =
   ok
 
 let request_trim t ~upto = Sequence_paxos.request_trim t.sp ~upto
+let first_idx t = Sequence_paxos.first_idx t.sp
+let snapshot t = Sequence_paxos.snapshot t.sp
+let snapshot_client_cmds t = Sequence_paxos.snapshot_client_cmds t.sp
 let is_leader t = Sequence_paxos.is_leader t.sp
 let leader_pid t = Sequence_paxos.leader_pid t.sp
 let current_ballot t = Ble.current_ballot t.ble

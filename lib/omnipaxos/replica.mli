@@ -27,6 +27,7 @@ val create :
   ?connectivity_priority:bool ->
   ?hb_ticks:int ->
   ?batching:Batching.config ->
+  ?compaction:Compaction.config ->
   storage:Storage.t ->
   send:(dst:int -> msg -> unit) ->
   ?on_decide:(int -> unit) ->
@@ -35,7 +36,8 @@ val create :
   unit ->
   t
 (** [hb_ticks] defaults to 10. [batching] selects the Sequence Paxos
-    batch-flush policy (default {!Batching.fixed}). [snapshotter] /
+    batch-flush policy (default {!Batching.fixed}); [compaction] (default
+    {!Compaction.disabled}) the snapshot-and-trim trigger. [snapshotter] /
     [on_snapshot] enable snapshot-based repair of followers below the trim
     point; see {!Sequence_paxos.create}. *)
 
@@ -55,6 +57,16 @@ val propose_reconfigure : t -> config_id:int -> nodes:int list -> bool
 
 val request_trim : t -> upto:int -> bool
 (** Leader-side log compaction; see {!Sequence_paxos.request_trim}. *)
+
+val first_idx : t -> int
+(** The log's trim point; see {!Sequence_paxos.first_idx}. *)
+
+val snapshot : t -> string
+(** Encoded state snapshot covering [0, first_idx);
+    see {!Sequence_paxos.snapshot}. *)
+
+val snapshot_client_cmds : t -> int
+(** Client commands contained in the trimmed prefix. *)
 
 val is_leader : t -> bool
 val leader_pid : t -> int option

@@ -14,6 +14,7 @@ type msg =
       decided_idx : int;
       suffix_from : int;
       suffix : Entry.t list;
+      snapshot : (int * string) option;
     }
   | Accept_sync of {
       n : Ballot.t;
@@ -40,6 +41,13 @@ type persistent = {
   mutable prom_rnd : Ballot.t;
   mutable acc_rnd : Ballot.t;
   mutable decided_idx : int;
+  (* Snapshot state backing log compaction: [app] is the KV state machine
+     for exactly the trimmed prefix [0, Log.first_idx log), and
+     [snap_client_cmds] counts the client commands (id >= 0) inside it.
+     Durable alongside the log: a snapshot must survive the crash of the
+     node that trimmed below it, or the prefix would be lost forever. *)
+  mutable app : Replog.Kv.t;
+  mutable snap_client_cmds : int;
 }
 
 type role = Follower | Leader_prepare | Leader_accept
@@ -58,6 +66,7 @@ type promise_info = {
   p_decided_idx : int;
   p_suffix_from : int;
   p_suffix : Entry.t list;
+  p_snapshot : (int * string) option;
 }
 
 type t = {
@@ -70,6 +79,7 @@ type t = {
   snapshotter : (unit -> string) option;
   on_snapshot : int -> string -> unit;
   batching : Batching.config;
+  compaction : Compaction.config;
   mutable role : role;
   (* Prepare-phase state. *)
   promises : (int, promise_info) Hashtbl.t;
@@ -97,6 +107,8 @@ let fresh_persistent () =
     prom_rnd = Ballot.bottom;
     acc_rnd = Ballot.bottom;
     decided_idx = 0;
+    app = Replog.Kv.create ();
+    snap_client_cmds = 0;
   }
 
 let trace_ballot (b : Ballot.t) =
@@ -108,11 +120,12 @@ let find_stop_sign_from log ~from =
       if Option.is_none !found && Entry.is_stop_sign e then found := Some i);
   !found
 
-let create ~id ~peers ~persistent ?(batching = Batching.fixed) ~send
-    ?(on_decide = fun _ -> ()) ?snapshotter ?(on_snapshot = fun _ _ -> ()) ()
-    =
+let create ~id ~peers ~persistent ?(batching = Batching.fixed)
+    ?(compaction = Compaction.disabled) ~send ?(on_decide = fun _ -> ())
+    ?snapshotter ?(on_snapshot = fun _ _ -> ()) () =
   let n_total = List.length peers + 1 in
   let batching = Batching.validated batching in
+  let compaction = Compaction.validated compaction in
   {
     id;
     peers;
@@ -123,6 +136,7 @@ let create ~id ~peers ~persistent ?(batching = Batching.fixed) ~send
     snapshotter;
     on_snapshot;
     batching;
+    compaction;
     role = Follower;
     promises = Hashtbl.create 8;
     buffer = Queue.create ();
@@ -197,6 +211,140 @@ let trace_proposed t e =
              | Entry.Stop_sign _ -> -1);
          })
 
+(* ------------------------------------------------------------------ *)
+(* Snapshotting and log compaction                                     *)
+(* ------------------------------------------------------------------ *)
+
+let first_idx t = Log.first_idx t.dur.log
+
+(* Fold the entries [first_idx, upto) into the durable snapshot state
+   machine. Must run before every trim so the invariant "[dur.app] covers
+   exactly [0, first_idx)" holds at all times; replaying the remaining log
+   on top of the snapshot then never double-applies a command. *)
+let advance_app t ~upto =
+  let from = Log.first_idx t.dur.log in
+  if upto > from then
+    List.iter
+      (fun e ->
+        match e with
+        | Entry.Cmd c ->
+            (match Replog.Kv.apply t.dur.app c with
+            | Replog.Kv.Ok_unit | Replog.Kv.Value _ -> ());
+            if c.Replog.Command.id >= 0 then
+              t.dur.snap_client_cmds <- t.dur.snap_client_cmds + 1
+        | Entry.Stop_sign _ -> ())
+      (Log.sub t.dur.log ~pos:from ~len:(upto - from))
+
+(* The encoded snapshot covering [0, first_idx): the application's own
+   [snapshotter] when one is registered, the internal KV snapshot
+   otherwise. *)
+let snapshot_bytes t =
+  match t.snapshotter with
+  | Some take -> take ()
+  | None ->
+      Replog.Snapshot.encode ~last_idx:(Log.first_idx t.dur.log)
+        ~client_cmds:t.dur.snap_client_cmds t.dur.app
+
+let snapshot t = snapshot_bytes t
+let snapshot_client_cmds t = t.dur.snap_client_cmds
+
+let trace_trim t ~upto ~entries =
+  if Obs.Trace.on () then
+    Obs.Trace.emit ~node:t.id (Obs.Event.Log_trimmed { upto; entries })
+
+(* Install a state snapshot covering [0, idx): the log restarts at [idx]
+   and the durable snapshot state machine adopts the payload when it is
+   the internal envelope (an application [snapshotter]'s opaque bytes are
+   handled entirely by [on_snapshot]). Discards any local entries — the
+   caller appends the authoritative suffix on top. *)
+let install_snapshot t ~idx ~payload =
+  Log.reset_to t.dur.log ~offset:idx;
+  t.ss_idx <- None;
+  t.dur.decided_idx <- max t.dur.decided_idx idx;
+  (match Replog.Snapshot.decode payload with
+  | Ok s ->
+      t.dur.app <- Replog.Snapshot.restore s;
+      t.dur.snap_client_cmds <- s.Replog.Snapshot.client_cmds
+  | Error _ -> ());
+  if Obs.Trace.on () then
+    Obs.Trace.emit ~node:t.id
+      (Obs.Event.Snapshot_installed { idx; bytes = String.length payload });
+  t.on_snapshot idx payload
+
+(* Adopt a snapshot + entry suffix pair from a peer whose log starts at
+   [idx]. A snapshot at or below our decided index is stale — the
+   application already applied that prefix, and [on_decide] never re-fires
+   for it, so re-installing would silently roll the state machine back
+   (e.g. a leader answering two Promises from the same session-reset
+   sends the same install twice; the second arrives after we advanced).
+   Skip it and splice the suffix into the log instead, dropping any
+   overlap below our own trim floor. *)
+let adopt_snapshot_suffix t ~idx ~payload ~suffix =
+  if idx > t.dur.decided_idx then begin
+    install_snapshot t ~idx ~payload;
+    sync_log t ~at:idx suffix
+  end
+  else begin
+    let at = max idx (Log.first_idx t.dur.log) in
+    let suffix = List.filteri (fun i _ -> idx + i >= at) suffix in
+    sync_log t ~at suffix
+  end
+
+(* Largest log index accepted (in this round) by a quorum — the same
+   statistic [try_decide] uses, reused as the compaction watermark bound:
+   never trim an entry some quorum has not confirmed, or the Prepare phase
+   of a future leader could need it. *)
+let quorum_acc_idx t =
+  let values =
+    Log.length t.dur.log
+    :: List.map snd
+        (Replog.Det.sorted_bindings ~compare_key:Int.compare t.acc_idx)
+  in
+  if List.length values >= t.quorum then begin
+    let sorted = List.sort (fun a b -> Int.compare b a) values in
+    List.nth sorted (t.quorum - 1)
+  end
+  else 0
+
+(* Never trim a decided stop-sign away: [stop_sign] reads it from the log
+   (late-transitioning servers in a reconfiguration still need it), and the
+   snapshot state machine does not carry it. *)
+let trim_cap t ~upto =
+  match t.ss_idx with Some i -> min upto i | None -> upto
+
+(* Leader-side compaction trigger, run whenever the decided index advances:
+   once [snapshot_interval] decided entries accumulate above the trim
+   point, snapshot and trim up to the quorum-confirmed watermark (minus
+   [retain]) and tell the followers to do the same. Deliberately quorum-
+   based rather than all-peers: a crashed or partitioned straggler must not
+   block compaction — it is repaired later with a snapshot install. *)
+let maybe_compact t =
+  if Compaction.enabled t.compaction && role_is_leader_accept t.role then begin
+    let floor = Log.first_idx t.dur.log in
+    if
+      t.dur.decided_idx - floor >= t.compaction.Compaction.snapshot_interval
+    then begin
+      let upto =
+        trim_cap t
+          ~upto:
+            (min
+               (t.dur.decided_idx - t.compaction.Compaction.retain)
+               (quorum_acc_idx t))
+      in
+      if upto > floor then begin
+        advance_app t ~upto;
+        Log.trim t.dur.log ~upto;
+        if Obs.Trace.on () then
+          Obs.Trace.emit ~node:t.id
+            (Obs.Event.Snapshot_taken
+               { idx = upto; bytes = String.length (snapshot_bytes t) });
+        trace_trim t ~upto ~entries:(upto - floor);
+        let m = Trim { n = t.dur.prom_rnd; trim_idx = upto } in
+        List.iter (fun p -> t.send ~dst:p m) t.peers
+      end
+    end
+  end
+
 let advance_decided t d =
   let d = min d (Log.length t.dur.log) in
   if d > t.dur.decided_idx then begin
@@ -204,7 +352,8 @@ let advance_decided t d =
     if Obs.Trace.on () then
       Obs.Trace.emit ~node:t.id
         (Obs.Event.Decided { b = trace_ballot t.dur.acc_rnd; decided_idx = d });
-    t.on_decide d
+    t.on_decide d;
+    maybe_compact t
   end
 
 (* Leader: largest index accepted (in this round) by a quorum. *)
@@ -242,9 +391,9 @@ let accept_sync_follower t ~dst ~(info : promise_info) ~max_acc_rnd =
      decided everywhere and already identical at the follower. *)
   let snapshot =
     if wanted < floor then
-      match t.snapshotter with
-      | Some take -> Some (floor, take ())
-      | None -> None
+      if Option.is_some t.snapshotter || Compaction.enabled t.compaction then
+        Some (floor, snapshot_bytes t)
+      else None
     else None
   in
   let sync_idx = max wanted floor in
@@ -291,7 +440,14 @@ let complete_prepare t =
     t.promises;
   (if !best_src <> t.id then
      let info = Hashtbl.find t.promises !best_src in
-     sync_log t ~at:info.p_suffix_from info.p_suffix);
+     (* A promiser that compacted past our log end leaves a gap no entry
+        suffix can fill (and our entries below its trim floor may be stale
+        non-chosen proposals): install its snapshot first, then adopt the
+        suffix on top of it. *)
+     match info.p_snapshot with
+     | Some (idx, payload) ->
+         adopt_snapshot_suffix t ~idx ~payload ~suffix:info.p_suffix
+     | None -> sync_log t ~at:info.p_suffix_from info.p_suffix);
   let max_acc_rnd = fst !best_key in
   t.dur.acc_rnd <- n;
   (* Decided indexes reported by the quorum refer to chosen prefixes of the
@@ -372,20 +528,27 @@ let on_prepare t ~src ~n ~l_acc_rnd ~l_log_idx ~l_decided_idx =
     t.dur.prom_rnd <- n;
     if n.Ballot.pid <> t.id then t.role <- Follower;
     (* Send the entries the leader might be missing (Figure 3b (3)). A
-       compacted log can only serve from its trim point; anything below it
-       is decided-and-trimmed everywhere, hence identical at the leader. *)
+       compacted log can only serve entries from its trim point; when the
+       leader needs entries below it (its log ends, or its decided prefix
+       stops, under our floor) the suffix alone would leave a gap — and the
+       leader's own entries below our floor may be stale non-chosen
+       proposals — so the promise also carries our snapshot and the leader
+       installs it under the suffix. *)
     let floor = Log.first_idx t.dur.log in
-    let suffix_from, suffix =
-      if Ballot.(t.dur.acc_rnd > l_acc_rnd) then
-        let from = max l_decided_idx floor in
-        (from, Log.suffix t.dur.log ~from)
+    let promise ~base =
+      let from = max base floor in
+      let snapshot =
+        if from > base then Some (floor, snapshot_bytes t) else None
+      in
+      (from, Log.suffix t.dur.log ~from, snapshot)
+    in
+    let suffix_from, suffix, snapshot =
+      if Ballot.(t.dur.acc_rnd > l_acc_rnd) then promise ~base:l_decided_idx
       else if
         Ballot.equal t.dur.acc_rnd l_acc_rnd
         && Log.length t.dur.log > l_log_idx
-      then
-        let from = max l_log_idx floor in
-        (from, Log.suffix t.dur.log ~from)
-      else (Log.length t.dur.log, [])
+      then promise ~base:l_log_idx
+      else (Log.length t.dur.log, [], None)
     in
     if Obs.Trace.on () then
       Obs.Trace.emit ~node:t.id
@@ -404,6 +567,7 @@ let on_prepare t ~src ~n ~l_acc_rnd ~l_log_idx ~l_decided_idx =
            decided_idx = t.dur.decided_idx;
            suffix_from;
            suffix;
+           snapshot;
          })
   end
 
@@ -424,16 +588,11 @@ let on_accept_sync t ~n ~sync_idx ~suffix ~l_decided_idx ~snapshot =
   if Ballot.equal n t.dur.prom_rnd then begin
     match snapshot with
     | Some (idx, payload) ->
-        (* Install the state snapshot: the log restarts at [idx]; the
-           application restores its state machine from the payload. *)
+        (* Install the state snapshot (the log restarts at [idx]; the
+           application restores its state machine from the payload) —
+           unless it is stale, in which case only the suffix is adopted. *)
         t.dur.acc_rnd <- n;
-        Log.reset_to t.dur.log ~offset:idx;
-        t.ss_idx <- None;
-        Log.append_list t.dur.log suffix;
-        t.ss_idx <-
-          Option.map (fun i -> idx + i) (List.find_index Entry.is_stop_sign suffix);
-        t.dur.decided_idx <- max t.dur.decided_idx idx;
-        t.on_snapshot idx payload;
+        adopt_snapshot_suffix t ~idx ~payload ~suffix;
         if Obs.Trace.on () then
           Obs.Trace.emit ~node:t.id
             (Obs.Event.Accepted_idx
@@ -505,17 +664,26 @@ let on_decide_msg t ~n ~l_decided_idx =
     advance_decided t l_decided_idx
 
 let on_trim t ~n ~trim_idx =
+  let trim_idx = trim_cap t ~upto:trim_idx in
   if
     Ballot.equal n t.dur.prom_rnd
     && trim_idx <= t.dur.decided_idx
     && trim_idx <= Log.length t.dur.log
-  then Log.trim t.dur.log ~upto:trim_idx
+  then begin
+    let floor = Log.first_idx t.dur.log in
+    if trim_idx > floor then begin
+      advance_app t ~upto:trim_idx;
+      Log.trim t.dur.log ~upto:trim_idx;
+      trace_trim t ~upto:trim_idx ~entries:(trim_idx - floor)
+    end
+  end
 
 (* Log compaction (§6 / the omnipaxos crate's [trim]): the leader may
    discard a decided prefix once every server has accepted it, and tells
    the followers to do the same. Returns [false] when some server has not
    confirmed the entries yet. *)
 let request_trim t ~upto =
+  let upto = trim_cap t ~upto in
   let all_peers_accepted =
     List.for_all
       (fun p ->
@@ -527,7 +695,12 @@ let request_trim t ~upto =
   if role_is_leader_accept t.role && upto <= t.dur.decided_idx
      && all_peers_accepted
   then begin
-    Log.trim t.dur.log ~upto;
+    let floor = Log.first_idx t.dur.log in
+    if upto > floor then begin
+      advance_app t ~upto;
+      Log.trim t.dur.log ~upto;
+      trace_trim t ~upto ~entries:(upto - floor)
+    end;
     let m = Trim { n = t.dur.prom_rnd; trim_idx = upto } in
     List.iter (fun p -> t.send ~dst:p m) t.peers;
     true
@@ -563,7 +736,8 @@ let handle t ~src msg =
   | Prepare { n; acc_rnd; log_idx; decided_idx } ->
       on_prepare t ~src ~n ~l_acc_rnd:acc_rnd ~l_log_idx:log_idx
         ~l_decided_idx:decided_idx
-  | Promise { n; acc_rnd; log_idx; decided_idx; suffix_from; suffix } ->
+  | Promise { n; acc_rnd; log_idx; decided_idx; suffix_from; suffix; snapshot }
+    ->
       on_promise t ~src ~n
         ~info:
           {
@@ -572,6 +746,7 @@ let handle t ~src msg =
             p_decided_idx = decided_idx;
             p_suffix_from = suffix_from;
             p_suffix = suffix;
+            p_snapshot = snapshot;
           }
   | Accept_sync { n; sync_idx; suffix; decided_idx; snapshot } ->
       on_accept_sync t ~n ~sync_idx ~suffix ~l_decided_idx:decided_idx
@@ -597,10 +772,35 @@ let do_flush t ~trigger =
   let max_lag = ref 0 in
   let sent_entries = ref 0 in
   let sent_followers = ref 0 in
+  let floor = Log.first_idx t.dur.log in
   Replog.Det.iter_sorted ~compare_key:Int.compare
     (fun f () ->
       let from = Option.value (Hashtbl.find_opt t.sent_idx f) ~default:len in
-      if from < len then begin
+      if from < floor then begin
+        (* The follower's unsent backlog starts below the trim point (it
+           lagged past a compaction): the entries are gone, so repair with
+           a snapshot install plus the remaining tail instead. *)
+        let suffix = Log.suffix t.dur.log ~from:floor in
+        if Obs.Trace.on () then
+          Obs.Trace.emit ~node:t.id
+            (Obs.Event.Accept_sent
+               {
+                 b = trace_ballot t.dur.prom_rnd;
+                 start_idx = floor;
+                 count = List.length suffix;
+               });
+        t.send ~dst:f
+          (Accept_sync
+             {
+               n = t.dur.prom_rnd;
+               sync_idx = floor;
+               suffix;
+               decided_idx = t.dur.decided_idx;
+               snapshot = Some (floor, snapshot_bytes t);
+             });
+        Hashtbl.replace t.sent_idx f len
+      end
+      else if from < len then begin
         max_lag := max !max_lag (len - from);
         let count = min cap (len - from) in
         sent_entries := !sent_entries + count;
@@ -708,7 +908,9 @@ let entries_size entries =
 
 let msg_size = function
   | Prepare _ -> 57
-  | Promise { suffix; _ } -> 65 + entries_size suffix
+  | Promise { suffix; snapshot; _ } ->
+      65 + entries_size suffix
+      + (match snapshot with Some (_, p) -> 16 + String.length p | None -> 0)
   | Accept_sync { suffix; snapshot; _ } ->
       49 + entries_size suffix
       + (match snapshot with Some (_, p) -> 16 + String.length p | None -> 0)

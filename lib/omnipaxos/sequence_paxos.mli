@@ -27,6 +27,10 @@ type msg =
       decided_idx : int;
       suffix_from : int;
       suffix : Entry.t list;
+      snapshot : (int * string) option;
+          (** a state snapshot covering entries [0, idx), sent when the
+              preparing leader needs entries below this server's trim
+              point (the suffix alone would leave a gap) *)
     }
   | Accept_sync of {
       n : Ballot.t;
@@ -54,6 +58,12 @@ type persistent = {
   mutable prom_rnd : Ballot.t;  (** highest round promised *)
   mutable acc_rnd : Ballot.t;  (** round of the last accepted entry *)
   mutable decided_idx : int;
+  mutable app : Replog.Kv.t;
+      (** snapshot state machine covering exactly [0, first_idx log): kept
+          in the durable record because a trim is only safe once the
+          snapshot below it survives a crash *)
+  mutable snap_client_cmds : int;
+      (** client commands (id >= 0) folded into [app] *)
 }
 
 type role = Follower | Leader_prepare | Leader_accept
@@ -67,6 +77,7 @@ val create :
   peers:int list ->
   persistent:persistent ->
   ?batching:Batching.config ->
+  ?compaction:Compaction.config ->
   send:(dst:int -> msg -> unit) ->
   ?on_decide:(int -> unit) ->
   ?snapshotter:(unit -> string) ->
@@ -76,10 +87,15 @@ val create :
 (** [on_decide] fires with the new decided index every time it advances.
     [batching] selects the batch-flush policy (default {!Batching.fixed},
     the historical flush-on-every-tick behaviour; see [batching.mli]).
+    [compaction] (default {!Compaction.disabled}) enables automatic
+    snapshot-and-trim on the leader once [snapshot_interval] decided
+    entries accumulate above the trim point; the internal KV snapshot of
+    [persistent.app] then repairs followers that fell below it.
     [snapshotter] supplies an opaque state-machine snapshot covering the
-    trimmed prefix, used to repair followers that fell below the trim point
-    (e.g. after losing their storage); [on_snapshot idx payload] fires at
-    the receiving side so the application can restore its state machine. *)
+    trimmed prefix, overriding the internal one (e.g. for applications
+    with their own state representation); [on_snapshot idx payload] fires
+    at the receiving side so the application can restore its state
+    machine. *)
 
 val handle : t -> src:int -> msg -> unit
 
@@ -139,6 +155,17 @@ val stop_sign : t -> Entry.stop_sign option
 
 val batching : t -> Batching.config
 (** The (validated) batch-flush policy this instance runs. *)
+
+val first_idx : t -> int
+(** The log's trim point: entries below it live only in the snapshot. *)
+
+val snapshot : t -> string
+(** The encoded state snapshot covering [0, first_idx): the registered
+    [snapshotter]'s bytes when one exists, the internal
+    {!Replog.Snapshot} envelope otherwise. *)
+
+val snapshot_client_cmds : t -> int
+(** Client commands (id >= 0) contained in the trimmed prefix. *)
 
 val batch_cap : t -> int
 (** The current adaptive per-[Accept] entry cap (constant [max_batch] under

@@ -22,11 +22,27 @@ type msg =
       commit_idx : int;
     }
   | Append_resp of { term : int; success : bool; match_idx : int }
+  | Install_snapshot of {
+      term : int;
+      idx : int;  (* the snapshot covers log indexes [0, idx) *)
+      snap_term : int;  (* term of the entry at idx - 1 *)
+      payload : string;
+      commit_idx : int;
+    }
 
 type persistent = {
   mutable term : int;
   mutable voted_for : int option;
   log : entry Replog.Log.t;
+  (* Snapshot state backing log compaction: [app] is the KV state machine
+     for exactly the trimmed prefix [0, Log.first_idx log), [snap_term] the
+     term of its last entry (needed for the AppendEntries consistency check
+     at the boundary), [snap_client_cmds] the client commands (id >= 0) it
+     contains. Durable: a trim is only safe once the snapshot below it
+     survives a crash. *)
+  mutable app : Replog.Kv.t;
+  mutable snap_term : int;
+  mutable snap_client_cmds : int;
 }
 
 type role = Follower | Candidate | Leader
@@ -74,9 +90,25 @@ type t = {
      entries are pending for some peer instead of waiting for the tick. *)
   max_batch : int;
   eager_batch : int;
+  (* Local compaction knobs (every server trims below its own commit index,
+     the classic Raft local decision): snapshot-and-trim once
+     [snapshot_interval] committed entries sit above the trim point,
+     keeping the newest [retain] of them. [0] disables compaction. *)
+  snapshot_interval : int;
+  retain : int;
+  on_compact : upto:int -> entries:int -> unit;
+  on_install : int -> string -> unit;
 }
 
-let fresh_persistent () = { term = 0; voted_for = None; log = Log.create () }
+let fresh_persistent () =
+  {
+    term = 0;
+    voted_for = None;
+    log = Log.create ();
+    app = Replog.Kv.create ();
+    snap_term = 0;
+    snap_client_cmds = 0;
+  }
 
 let reset_timeout t =
   t.ticks_since_hb <- 0;
@@ -87,8 +119,10 @@ let reset_timeout t =
    answers the leader but never campaigns or votes until a committed Config
    entry promotes it. *)
 let create ~id ~voters ?(pre_vote = false) ?(check_quorum = false)
-    ?(max_batch = 4096) ?(eager_batch = 0) ~election_ticks ~rand ~persistent
-    ~send ?(on_commit = fun _ -> ()) () =
+    ?(max_batch = 4096) ?(eager_batch = 0) ?(snapshot_interval = 0)
+    ?(retain = 0) ?(on_compact = fun ~upto:_ ~entries:_ -> ())
+    ?(on_install = fun _ _ -> ()) ~election_ticks ~rand ~persistent ~send
+    ?(on_commit = fun _ -> ()) () =
   let t =
     {
       id;
@@ -121,6 +155,10 @@ let create ~id ~voters ?(pre_vote = false) ?(check_quorum = false)
       last_send = Hashtbl.create 8;
       max_batch = max 1 max_batch;
       eager_batch;
+      snapshot_interval;
+      retain;
+      on_compact;
+      on_install;
     }
   in
   reset_timeout t;
@@ -133,7 +171,7 @@ let replication_targets t =
   peer_voters t @ Replog.Det.sorted_keys ~compare_key:Int.compare t.learners
 
 let last_log_term t =
-  match Log.last t.dur.log with Some e -> e.term | None -> 0
+  match Log.last t.dur.log with Some e -> e.term | None -> t.dur.snap_term
 
 let log_ok t ~last_log_idx ~last_log_term:cand_term =
   let my_term = last_log_term t in
@@ -150,8 +188,10 @@ let become_follower t ~term =
   reset_timeout t
 
 (* Committed Config entries switch the voter set. A removed server steps
-   down; promoted learners stop being learners. *)
+   down; promoted learners stop being learners. Clamped to the trim point:
+   entries below it were applied before they were compacted away. *)
 let apply_configs t ~from ~upto =
+  let from = max from (Log.first_idx t.dur.log) in
   for i = from to upto - 1 do
     match (Log.get t.dur.log i).data with
     | Config { config_id; voters } ->
@@ -162,12 +202,42 @@ let apply_configs t ~from ~upto =
     | Cmd _ -> ()
   done
 
+(* Fold the entries [first_idx, upto) into the durable snapshot state
+   machine, then trim. Runs below the local commit index only, so the
+   committed prefix invariant (identical at every server) makes the
+   snapshot identical to what every other server will compute. *)
+let compact_below t ~upto =
+  let floor = Log.first_idx t.dur.log in
+  if upto > floor then begin
+    t.dur.snap_term <- (Log.get t.dur.log (upto - 1)).term;
+    List.iter
+      (fun e ->
+        match e.data with
+        | Cmd c ->
+            (match Replog.Kv.apply t.dur.app c with
+            | Replog.Kv.Ok_unit | Replog.Kv.Value _ -> ());
+            if c.Replog.Command.id >= 0 then
+              t.dur.snap_client_cmds <- t.dur.snap_client_cmds + 1
+        | Config _ -> ())
+      (Log.sub t.dur.log ~pos:floor ~len:(upto - floor));
+    Log.trim t.dur.log ~upto;
+    t.on_compact ~upto ~entries:(upto - floor)
+  end
+
+let maybe_compact t =
+  if t.snapshot_interval > 0 then begin
+    let floor = Log.first_idx t.dur.log in
+    if t.commit_idx - floor >= t.snapshot_interval then
+      compact_below t ~upto:(t.commit_idx - t.retain)
+  end
+
 let advance_commit t c =
   if c > t.commit_idx then begin
     let from = t.commit_idx in
     t.commit_idx <- c;
     apply_configs t ~from ~upto:c;
-    t.on_commit c
+    t.on_commit c;
+    maybe_compact t
   end
 
 let advance_commit_follower t leader_commit =
@@ -190,22 +260,54 @@ let try_commit t =
     && (Log.get t.dur.log (n - 1)).term = t.dur.term
   then advance_commit t n
 
-let send_append t ~dst ~from =
-  let log = t.dur.log in
-  let prev_idx = from - 1 in
-  let prev_term = if prev_idx >= 0 then (Log.get log prev_idx).term else 0 in
-  let count = min t.max_batch (Log.length log - from) in
+(* Term of the entry before index [idx+1]: at the snapshot boundary the
+   log no longer has the entry, but its term was saved at compaction time.
+   Callers never look below [first_idx - 1]. *)
+let prev_term_at t prev_idx =
+  if prev_idx < 0 then 0
+  else if prev_idx < Log.first_idx t.dur.log then t.dur.snap_term
+  else (Log.get t.dur.log prev_idx).term
+
+let send_install t ~dst =
+  let floor = Log.first_idx t.dur.log in
+  let payload =
+    Replog.Snapshot.encode ~last_idx:floor
+      ~client_cmds:t.dur.snap_client_cmds t.dur.app
+  in
   t.send ~dst
-    (Append_entries
+    (Install_snapshot
        {
          term = t.dur.term;
-         prev_idx;
-         prev_term;
-         entries = Log.sub log ~pos:from ~len:count;
+         idx = floor;
+         snap_term = t.dur.snap_term;
+         payload;
          commit_idx = t.commit_idx;
        });
   Hashtbl.replace t.last_send dst t.tick_count;
-  Hashtbl.replace t.sent_idx dst (from + count)
+  Hashtbl.replace t.sent_idx dst floor
+
+let send_append t ~dst ~from =
+  let log = t.dur.log in
+  if from < Log.first_idx log then
+    (* The entries this follower needs were compacted away: ship the
+       snapshot instead; the tail streams as normal batches afterwards. *)
+    send_install t ~dst
+  else begin
+    let prev_idx = from - 1 in
+    let prev_term = prev_term_at t prev_idx in
+    let count = min t.max_batch (Log.length log - from) in
+    t.send ~dst
+      (Append_entries
+         {
+           term = t.dur.term;
+           prev_idx;
+           prev_term;
+           entries = Log.sub log ~pos:from ~len:count;
+           commit_idx = t.commit_idx;
+         });
+    Hashtbl.replace t.last_send dst t.tick_count;
+    Hashtbl.replace t.sent_idx dst (from + count)
+  end
 
 (* Heartbeats probe at the follower's confirmed position (next_idx), not at
    the end of the in-flight pipeline — probing ahead would be rejected while
@@ -215,17 +317,20 @@ let send_heartbeat t ~dst =
     Option.value (Hashtbl.find_opt t.next_idx dst)
       ~default:(Log.length t.dur.log)
   in
-  let prev_idx = sent - 1 in
-  let prev_term = if prev_idx >= 0 then (Log.get t.dur.log prev_idx).term else 0 in
-  t.send ~dst
-    (Append_entries
-       {
-         term = t.dur.term;
-         prev_idx;
-         prev_term;
-         entries = [];
-         commit_idx = t.commit_idx;
-       })
+  if sent < Log.first_idx t.dur.log then send_install t ~dst
+  else begin
+    let prev_idx = sent - 1 in
+    let prev_term = prev_term_at t prev_idx in
+    t.send ~dst
+      (Append_entries
+         {
+           term = t.dur.term;
+           prev_idx;
+           prev_term;
+           entries = [];
+           commit_idx = t.commit_idx;
+         })
+  end
 
 let become_leader t =
   t.role <- Leader;
@@ -372,9 +477,14 @@ let on_append_entries t ~src ~term ~prev_idx ~prev_term ~entries ~leader_commit
     t.leader_id <- Some src;
     t.ticks_since_hb <- 0;
     let log = t.dur.log in
+    let floor = Log.first_idx log in
     let ok =
       prev_idx < 0
-      || (prev_idx < Log.length log && (Log.get log prev_idx).term = prev_term)
+      (* At or below our snapshot boundary: the prefix is committed state,
+         identical at every server by the commit invariant, so it matches
+         by definition (the entry itself may be gone). *)
+      || (prev_idx < floor && prev_idx < Log.length log)
+      || (prev_idx < Log.length log && prev_term_at t prev_idx = prev_term)
     in
     if not ok then
       t.send ~dst:src
@@ -385,11 +495,13 @@ let on_append_entries t ~src ~term ~prev_idx ~prev_term ~entries ~leader_commit
              match_idx = min (Log.length log) (max 0 prev_idx);
            })
     else begin
-      (* Append, truncating on term conflicts; skip duplicates. *)
+      (* Append, truncating on term conflicts; skip duplicates. Entries
+         below the trim point are part of our snapshot already. *)
       List.iteri
         (fun k (e : entry) ->
           let idx = prev_idx + 1 + k in
-          if idx < Log.length log then begin
+          if idx < floor then ()
+          else if idx < Log.length log then begin
             if (Log.get log idx).term <> e.term then begin
               Log.truncate log idx;
               Log.append log e
@@ -424,6 +536,51 @@ let on_append_resp t ~src ~term ~success ~match_idx =
     end
   end
 
+(* Follower side of the snapshot transfer: replace everything below [idx]
+   with the shipped state, restart the log there, and ack [idx] so the
+   leader streams the tail as normal batches. A stale or duplicate install
+   (our log already starts at or above [idx]) is just re-acked. *)
+let on_install_snapshot t ~src ~term ~idx ~snap_term ~payload ~leader_commit =
+  if term < t.dur.term then
+    t.send ~dst:src
+      (Append_resp
+         { term = t.dur.term; success = false; match_idx = Log.length t.dur.log })
+  else begin
+    if term > t.dur.term || not (role_is_follower t.role) then
+      become_follower t ~term;
+    t.leader_id <- Some src;
+    t.ticks_since_hb <- 0;
+    (* A stale snapshot — at or below our commit index — must never be
+       re-installed: the state machine already covers that prefix, and
+       [on_install] consumers never re-apply committed entries, so a
+       re-install would silently roll the application back (a leader that
+       rewound our next-index after a session reset can ship an install
+       for a prefix whose tail we committed in the meantime). Skip it and
+       ack the commit index — committed entries are on every leader's log
+       (Leader Completeness), so that match claim is always truthful and
+       lets the leader resume from there. Acks never cite our own log
+       length: entries above the commit index may be uncommitted leftovers
+       from an older term that conflict with the leader's log, and a match
+       claim beyond the leader's own log breaks its commit accounting. *)
+    let ack =
+      if idx <= t.commit_idx then t.commit_idx
+      else
+        match Replog.Snapshot.decode payload with
+        | Ok s ->
+            t.dur.app <- Replog.Snapshot.restore s;
+            t.dur.snap_client_cmds <- s.Replog.Snapshot.client_cmds;
+            t.dur.snap_term <- snap_term;
+            Log.reset_to t.dur.log ~offset:idx;
+            t.commit_idx <- max t.commit_idx idx;
+            t.on_install idx payload;
+            idx
+        | Error _ -> t.commit_idx
+    in
+    t.send ~dst:src
+      (Append_resp { term = t.dur.term; success = true; match_idx = ack });
+    advance_commit_follower t leader_commit
+  end
+
 let handle t ~src msg =
   match msg with
   | Request_vote { term; last_log_idx; last_log_term; pre_vote } ->
@@ -435,6 +592,9 @@ let handle t ~src msg =
         ~leader_commit:commit_idx
   | Append_resp { term; success; match_idx } ->
       on_append_resp t ~src ~term ~success ~match_idx
+  | Install_snapshot { term; idx; snap_term; payload; commit_idx } ->
+      on_install_snapshot t ~src ~term ~idx ~snap_term ~payload
+        ~leader_commit:commit_idx
 
 let session_reset t ~peer =
   if role_is_leader t.role then begin
@@ -448,7 +608,9 @@ let session_reset t ~peer =
 let recover t =
   t.role <- Follower;
   t.leader_id <- None;
-  t.commit_idx <- 0;
+  (* Everything below the trim point is committed by construction (we only
+     trim below the commit index), so recovery resumes there, not at 0. *)
+  t.commit_idx <- Log.first_idx t.dur.log;
   reset_timeout t
 
 let propose t cmd =
@@ -510,7 +672,18 @@ let leader_pid t = t.leader_id
 let current_term t = t.dur.term
 let commit_idx t = t.commit_idx
 let log_length t = Log.length t.dur.log
-let read_committed t ~from = Log.sub t.dur.log ~pos:from ~len:(t.commit_idx - from)
+let first_idx t = Log.first_idx t.dur.log
+let snapshot_client_cmds t = t.dur.snap_client_cmds
+
+let snapshot t =
+  Replog.Snapshot.encode
+    ~last_idx:(Log.first_idx t.dur.log)
+    ~client_cmds:t.dur.snap_client_cmds t.dur.app
+
+(* Entries below the trim point are unavailable; reads clamp to it. *)
+let read_committed t ~from =
+  let from = max from (Log.first_idx t.dur.log) in
+  Log.sub t.dur.log ~pos:from ~len:(t.commit_idx - from)
 
 (* Per-entry wire overhead beyond the command payload: terms are
    run-length encoded in practice, so they amortise to ~2 bytes/entry. *)
@@ -527,3 +700,4 @@ let msg_size = function
   | Append_entries { entries; _ } ->
       49 + List.fold_left (fun acc e -> acc + entry_size e) 0 entries
   | Append_resp _ -> 22
+  | Install_snapshot { payload; _ } -> 49 + String.length payload

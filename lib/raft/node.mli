@@ -46,11 +46,24 @@ type msg =
       success : bool;
       match_idx : int;  (** on failure: the follower's log length, as hint *)
     }
+  | Install_snapshot of {
+      term : int;
+      idx : int;  (** the log restarts at [idx]; the payload covers [0, idx) *)
+      snap_term : int;  (** term of entry [idx - 1], for AppendEntries checks *)
+      payload : string;  (** a {!Replog.Snapshot} envelope *)
+      commit_idx : int;
+    }
 
 type persistent = {
   mutable term : int;
   mutable voted_for : int option;
   log : entry Replog.Log.t;
+  mutable app : Replog.Kv.t;
+      (** snapshot state machine covering exactly [0, first_idx log); durable
+          because a trim is only safe once the snapshot survives a crash *)
+  mutable snap_term : int;  (** term of the last entry folded into [app] *)
+  mutable snap_client_cmds : int;
+      (** client commands (id >= 0) folded into [app] *)
 }
 
 type role = Follower | Candidate | Leader
@@ -66,6 +79,10 @@ val create :
   ?check_quorum:bool ->
   ?max_batch:int ->
   ?eager_batch:int ->
+  ?snapshot_interval:int ->
+  ?retain:int ->
+  ?on_compact:(upto:int -> entries:int -> unit) ->
+  ?on_install:(int -> string -> unit) ->
   election_ticks:int ->
   rand:Random.State.t ->
   persistent:persistent ->
@@ -77,7 +94,16 @@ val create :
     AppendEntries; [eager_batch] (default 0 = off) flushes a proposal burst
     as soon as that many entries are pending for a peer, instead of on the
     next tick — the Raft mirror of the Omni-Paxos adaptive batching knob,
-    keeping the throughput comparisons apples-to-apples. *)
+    keeping the throughput comparisons apples-to-apples.
+
+    [snapshot_interval] (default 0 = off) enables local log compaction: once
+    that many committed entries accumulate above the trim point, the server
+    folds the committed prefix (except the last [retain] entries, default 0)
+    into its KV snapshot and trims the log. A leader repairs followers whose
+    next index fell below its trim point with [Install_snapshot].
+    [on_compact] fires after each local trim, [on_install] after installing
+    a leader-shipped snapshot. Note: [Config] entries are not carried by
+    snapshots — do not combine compaction with reconfiguration. *)
 
 val handle : t -> src:int -> msg -> unit
 val tick : t -> unit
@@ -103,5 +129,17 @@ val leader_pid : t -> int option
 val current_term : t -> int
 val commit_idx : t -> int
 val log_length : t -> int
+
+val first_idx : t -> int
+(** The log's trim point: entries below it live only in the snapshot. *)
+
+val snapshot_client_cmds : t -> int
+(** Client commands (id >= 0) contained in the trimmed prefix. *)
+
+val snapshot : t -> string
+(** The encoded {!Replog.Snapshot} envelope covering [0, first_idx). *)
+
 val read_committed : t -> from:int -> entry list
+(** Committed entries from [from] (clamped to the trim point). *)
+
 val msg_size : msg -> int

@@ -14,6 +14,8 @@ type config = {
   seed : int;
   batching : Omnipaxos.Batching.config;
       (** hot-path flush policy, threaded to every node *)
+  compaction : Omnipaxos.Compaction.config;
+      (** snapshot-and-trim trigger, threaded to every node *)
 }
 
 let default_config =
@@ -25,6 +27,7 @@ let default_config =
     egress_bw = infinity;
     seed = 42;
     batching = Omnipaxos.Batching.fixed;
+    compaction = Omnipaxos.Compaction.disabled;
   }
 
 module Make (P : Protocol.PROTOCOL) = struct
@@ -50,8 +53,8 @@ module Make (P : Protocol.PROTOCOL) = struct
     let make_node id =
       let peers = List.filter (fun j -> j <> id) (all_ids cfg.n) in
       let send ~dst m = Net.send net ~src:id ~dst ~size:(P.msg_size m) m in
-      P.create ~batching:cfg.batching ~id ~peers ~election_ticks
-        ~rand:(Net.rng net) ~send ()
+      P.create ~batching:cfg.batching ~compaction:cfg.compaction ~id ~peers
+        ~election_ticks ~rand:(Net.rng net) ~send ()
     in
     let nodes = Array.init cfg.n make_node in
     let install_handlers id node =

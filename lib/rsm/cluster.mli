@@ -11,12 +11,14 @@ type config = {
   seed : int;
   batching : Omnipaxos.Batching.config;
       (** hot-path flush policy, threaded to every node *)
+  compaction : Omnipaxos.Compaction.config;
+      (** snapshot-and-trim trigger, threaded to every node *)
 }
 
 val default_config : config
 (** 3 servers, 5 ms ticks, 50 ms election timeout, 0.1 ms latency (the
     paper's LAN RTT of 0.2 ms), unlimited bandwidth, seed 42, fixed
-    batching. *)
+    batching, compaction disabled. *)
 
 module Make (P : Protocol.PROTOCOL) : sig
   type t

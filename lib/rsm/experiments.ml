@@ -85,6 +85,14 @@ type policy_point = {
   bp_msgs : int;
 }
 
+type catch_up_point = {
+  cu_lag : int;  (** decided-index entries the follower missed *)
+  cu_ms : float;  (** recovery-to-frontier latency, simulated ms *)
+  cu_bytes : int;  (** bytes delivered to the follower during catch-up *)
+  cu_caught : bool;  (** false = fuel ran out before reaching the frontier *)
+  cu_installed : bool;  (** the repair went through a snapshot install *)
+}
+
 module Run (P : Protocol.PROTOCOL) = struct
   module C = Cluster.Make (P)
 
@@ -201,6 +209,49 @@ module Run (P : Protocol.PROTOCOL) = struct
         ~until:(warmup +. partition_ms)
     in
     (downtime, decided, Client.leader_changes client)
+
+  (* Lagging-follower repair cost (the compaction bench): crash a follower,
+     decide [entries] more commands without it, stop the workload, recover
+     it and measure how long and how many delivered bytes it takes to reach
+     the frontier again. With compaction on the repair is a snapshot
+     install (O(state) bytes); with it off the whole missed suffix is
+     re-shipped entry by entry (O(log) bytes). *)
+  let catch_up cfg ~cp ~entries =
+    let c = C.create cfg in
+    let timeout = cfg.Cluster.election_timeout_ms in
+    let client = C.start_client c ~cp in
+    C.run_ms c (8.0 *. timeout);
+    let leader = Option.value (C.leader c) ~default:0 in
+    let follower = (leader + 1) mod cfg.Cluster.n in
+    C.crash c follower;
+    let base = P.decided_index (C.node c follower) in
+    let target = base + entries in
+    let fuel = ref 4_000 in
+    while P.decided_index (C.node c leader) < target && !fuel > 0 do
+      decr fuel;
+      C.run_ms c 20.0
+    done;
+    Client.stop client;
+    (* Drain in-flight proposals so the frontier is fixed before the
+       follower comes back: the catch-up window then measures repair
+       traffic only, not fresh replication. *)
+    C.run_ms c (4.0 *. timeout);
+    let frontier = P.decided_index (C.node c leader) in
+    let t0 = C.now c in
+    let b0 = Net.bytes_delivered_at (C.net c) follower in
+    C.recover c follower;
+    let fuel = ref 4_000 in
+    while P.decided_index (C.node c follower) < frontier && !fuel > 0 do
+      decr fuel;
+      C.run_ms c (timeout /. 5.0)
+    done;
+    {
+      cu_lag = frontier - base;
+      cu_ms = C.now c -. t0;
+      cu_bytes = Net.bytes_delivered_at (C.net c) follower - b0;
+      cu_caught = P.decided_index (C.node c follower) >= frontier;
+      cu_installed = Option.is_some (P.last_install (C.node c follower));
+    }
 end
 
 module Omni_run = Run (Omni_adapter)
@@ -232,6 +283,7 @@ type proto_runner = {
     warmup_ms:float ->
     duration_ms:float ->
     run_sample;
+  pr_catch_up : Cluster.config -> cp:int -> entries:int -> catch_up_point;
 }
 
 let omni_runner =
@@ -240,6 +292,7 @@ let omni_runner =
     pr_throughput = Omni_run.throughput;
     pr_partition = Omni_run.partition;
     pr_sample = Omni_run.throughput_sample;
+    pr_catch_up = Omni_run.catch_up;
   }
 
 let raft_runner =
@@ -248,6 +301,7 @@ let raft_runner =
     pr_throughput = Raft_run.throughput;
     pr_partition = Raft_run.partition;
     pr_sample = Raft_run.throughput_sample;
+    pr_catch_up = Raft_run.catch_up;
   }
 
 let raft_pvcq_runner =
@@ -256,6 +310,7 @@ let raft_pvcq_runner =
     pr_throughput = Raft_pvcq_run.throughput;
     pr_partition = Raft_pvcq_run.partition;
     pr_sample = Raft_pvcq_run.throughput_sample;
+    pr_catch_up = Raft_pvcq_run.catch_up;
   }
 
 let multipaxos_runner =
@@ -264,6 +319,7 @@ let multipaxos_runner =
     pr_throughput = Multipaxos_run.throughput;
     pr_partition = Multipaxos_run.partition;
     pr_sample = Multipaxos_run.throughput_sample;
+    pr_catch_up = Multipaxos_run.catch_up;
   }
 
 let vr_runner =
@@ -272,6 +328,7 @@ let vr_runner =
     pr_throughput = Vr_run.throughput;
     pr_partition = Vr_run.partition;
     pr_sample = Vr_run.throughput_sample;
+    pr_catch_up = Vr_run.catch_up;
   }
 
 let all_protocols =
@@ -720,6 +777,7 @@ let no_qc_runner =
     pr_throughput = No_qc_run.throughput;
     pr_partition = No_qc_run.partition;
     pr_sample = No_qc_run.throughput_sample;
+    pr_catch_up = No_qc_run.catch_up;
   }
 
 let conn_prio_runner =
@@ -728,6 +786,7 @@ let conn_prio_runner =
     pr_throughput = Conn_prio_run.throughput;
     pr_partition = Conn_prio_run.partition;
     pr_sample = Conn_prio_run.throughput_sample;
+    pr_catch_up = Conn_prio_run.catch_up;
   }
 
 (** Ablation: the QC flag in heartbeats. Without it the quorum-loss
@@ -851,3 +910,33 @@ let ablation_segments ?(sizes = [ 2_000; 10_000; 50_000 ]) ?(seed = 5)
       in
       (segment_entries, duration))
     sizes
+
+(** The compaction bench: lagging-follower repair cost with and without
+    snapshotting, per protocol. Each row crashes a follower, decides
+    [entries] more commands without it, recovers it and reports the
+    catch-up latency and the bytes shipped to it — O(state) when the
+    snapshot-install path repairs it, O(log) when the whole missed suffix
+    is replayed entry by entry. *)
+let compaction_catch_up
+    ?(protocols =
+      [ omni_runner; raft_runner; multipaxos_runner; vr_runner ])
+    ?(seed = 3) ?(entries = 10_000) ?(interval = 500) ?(retain = 64)
+    ?(cp = 256) () =
+  List.concat_map
+    (fun pr ->
+      List.map
+        (fun compaction_on ->
+          let cfg =
+            {
+              Cluster.default_config with
+              n = 3;
+              seed;
+              compaction =
+                (if compaction_on then
+                   Omnipaxos.Compaction.make ~retain interval
+                 else Omnipaxos.Compaction.disabled);
+            }
+          in
+          (pr.pr_name, compaction_on, pr.pr_catch_up cfg ~cp ~entries))
+        [ false; true ])
+    protocols

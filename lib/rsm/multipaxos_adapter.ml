@@ -8,6 +8,8 @@ type t = {
   cache : Protocol.Decided_cache.t;
   obs : Protocol.Obs_hooks.t;
   mutable scanned : int;
+  mutable install_seq : int;
+  mutable last_install : Protocol.install option;
 }
 
 type msg = N.msg
@@ -16,14 +18,17 @@ let name = "Multi-Paxos"
 
 let scan t upto =
   let log = N.decided_log t.node in
-  for i = t.scanned to upto - 1 do
+  (* Slots below the trim point live only in the snapshot; the install hook
+     already jumped [scanned] past them, the clamp is belt-and-braces. *)
+  for i = max t.scanned (Replog.Log.first_idx log) to upto - 1 do
     let c = Replog.Log.get log i in
     if c.Replog.Command.id >= 0 then
       Protocol.Decided_cache.note t.cache c.Replog.Command.id
   done;
-  t.scanned <- upto
+  t.scanned <- max t.scanned upto
 
-let create ?(batching = Omnipaxos.Batching.fixed) ~id ~peers ~election_ticks
+let create ?(batching = Omnipaxos.Batching.fixed)
+    ?(compaction = Omnipaxos.Compaction.disabled) ~id ~peers ~election_ticks
     ~rand ~send () =
   let cache = Protocol.Decided_cache.create () in
   let t_ref = ref None in
@@ -42,13 +47,58 @@ let create ?(batching = Omnipaxos.Batching.fixed) ~id ~peers ~election_ticks
   let eager_batch =
     if b.Omnipaxos.Batching.adaptive then b.Omnipaxos.Batching.min_batch else 0
   in
+  (* Compaction translates the same way; the adapter supplies the trace
+     events Sequence Paxos emits internally. *)
+  let c = Omnipaxos.Compaction.validated compaction in
+  let on_compact ~upto ~entries =
+    if Obs.Trace.on () then begin
+      (match !t_ref with
+      | Some t ->
+          Obs.Trace.emit ~node:id
+            (Obs.Event.Snapshot_taken
+               { idx = upto; bytes = String.length (N.snapshot t.node) })
+      | None -> ());
+      Obs.Trace.emit ~node:id (Obs.Event.Log_trimmed { upto; entries })
+    end
+  in
+  let on_install idx payload =
+    match !t_ref with
+    | Some t ->
+        (* Slots below [idx] are gone from the decided log: jump the scan
+           cursor and record the install for checkers. Fires before
+           [on_decide] reports the installed watermark. *)
+        t.scanned <- max t.scanned idx;
+        t.install_seq <- t.install_seq + 1;
+        t.last_install <-
+          Some
+            {
+              Protocol.inst_seq = t.install_seq;
+              inst_cache_len = Protocol.Decided_cache.count t.cache;
+              inst_payload = payload;
+            };
+        if Obs.Trace.on () then
+          Obs.Trace.emit ~node:id
+            (Obs.Event.Snapshot_installed
+               { idx; bytes = String.length payload })
+    | None -> ()
+  in
   let node =
     N.create ~id ~peers ~election_ticks ~rand
-      ~max_batch:b.Omnipaxos.Batching.max_batch ~eager_batch ~send ~on_decide
-      ()
+      ~max_batch:b.Omnipaxos.Batching.max_batch ~eager_batch
+      ~snapshot_interval:c.Omnipaxos.Compaction.snapshot_interval
+      ~retain:c.Omnipaxos.Compaction.retain ~on_compact ~on_install ~send
+      ~on_decide ()
   in
   let t =
-    { id; node; cache; obs = Protocol.Obs_hooks.create (); scanned = 0 }
+    {
+      id;
+      node;
+      cache;
+      obs = Protocol.Obs_hooks.create ();
+      scanned = 0;
+      install_seq = 0;
+      last_install = None;
+    }
   in
   t_ref := Some t;
   t
@@ -91,5 +141,7 @@ let is_leader t = N.is_leader t.node
 let leader_pid t = N.leader_pid t.node
 let decided_count t = Protocol.Decided_cache.count t.cache
 let decided_ids t ~from = Protocol.Decided_cache.ids_from t.cache ~from
+let decided_index t = N.decided_length t.node
+let last_install t = t.last_install
 let msg_size = N.msg_size
 let node t = t.node

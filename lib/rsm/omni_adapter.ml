@@ -6,6 +6,8 @@ type t = {
   mutable replica : R.t;
   cache : Protocol.Decided_cache.t;
   mutable scanned : int;  (* log index up to which decided entries were read *)
+  mutable install_seq : int;
+  mutable last_install : Protocol.install option;
   build : unit -> R.t;
       (* rebuild on the same stable storage (fail-recovery restarts) *)
 }
@@ -33,7 +35,7 @@ let scan t upto =
      an early (lower) announcement rewind the scan and duplicate ids. *)
   t.scanned <- max t.scanned upto
 
-let make ?qc_signal ?connectivity_priority ?batching ~id ~peers
+let make ?qc_signal ?connectivity_priority ?batching ?compaction ~id ~peers
     ~election_ticks ~rand ~send () =
   ignore rand;
   let cache = Protocol.Decided_cache.create () in
@@ -42,16 +44,45 @@ let make ?qc_signal ?connectivity_priority ?batching ~id ~peers
   let on_decide idx =
     match !t_ref with Some t -> scan t idx | None -> ()
   in
+  (* A leader-shipped snapshot replaced the log prefix below [idx]: entries
+     there can no longer be scanned, so jump the scan cursor and record the
+     install for checkers (the cache length marks where decided ids resume
+     on top of the installed state). Fires before the decided index
+     advances, so the subsequent [scan] reads an aligned suffix. *)
+  let on_snapshot idx payload =
+    match !t_ref with
+    | Some t ->
+        t.scanned <- max t.scanned idx;
+        t.install_seq <- t.install_seq + 1;
+        t.last_install <-
+          Some
+            {
+              Protocol.inst_seq = t.install_seq;
+              inst_cache_len = Protocol.Decided_cache.count t.cache;
+              inst_payload = payload;
+            }
+    | None -> ()
+  in
   let build () =
     R.create ~id ~peers ?qc_signal ?connectivity_priority
-      ~hb_ticks:election_ticks ?batching ~storage ~send ~on_decide ()
+      ~hb_ticks:election_ticks ?batching ?compaction ~storage ~send ~on_decide
+      ~on_snapshot ()
   in
-  let t = { replica = build (); cache; scanned = 0; build } in
+  let t =
+    {
+      replica = build ();
+      cache;
+      scanned = 0;
+      install_seq = 0;
+      last_install = None;
+      build;
+    }
+  in
   t_ref := Some t;
   t
 
-let create ?batching ~id ~peers ~election_ticks ~rand ~send () =
-  make ?batching ~id ~peers ~election_ticks ~rand ~send ()
+let create ?batching ?compaction ~id ~peers ~election_ticks ~rand ~send () =
+  make ?batching ?compaction ~id ~peers ~election_ticks ~rand ~send ()
 
 (* Profiler frames around the two dispatch entry points. The cold branch
    repeats the call instead of passing a closure to [wrap], so the
@@ -80,6 +111,8 @@ let is_leader t = R.is_leader t.replica
 let leader_pid t = R.leader_pid t.replica
 let decided_count t = Protocol.Decided_cache.count t.cache
 let decided_ids t ~from = Protocol.Decided_cache.ids_from t.cache ~from
+let decided_index t = R.decided_idx t.replica
+let last_install t = t.last_install
 let msg_size = R.msg_size
 let replica t = t.replica
 
@@ -91,8 +124,9 @@ module No_qc_signal = struct
 
   let name = "Omni (no QC flag)"
 
-  let create ?batching ~id ~peers ~election_ticks ~rand ~send () =
-    make ~qc_signal:false ?batching ~id ~peers ~election_ticks ~rand ~send ()
+  let create ?batching ?compaction ~id ~peers ~election_ticks ~rand ~send () =
+    make ~qc_signal:false ?batching ?compaction ~id ~peers ~election_ticks
+      ~rand ~send ()
 
   let handle = handle
   let tick = tick
@@ -103,6 +137,8 @@ module No_qc_signal = struct
   let leader_pid = leader_pid
   let decided_count = decided_count
   let decided_ids = decided_ids
+  let decided_index = decided_index
+  let last_install = last_install
   let msg_size = msg_size
 end
 
@@ -114,9 +150,9 @@ module Connectivity_priority = struct
 
   let name = "Omni (conn-prio)"
 
-  let create ?batching ~id ~peers ~election_ticks ~rand ~send () =
-    make ~connectivity_priority:true ?batching ~id ~peers ~election_ticks ~rand
-      ~send ()
+  let create ?batching ?compaction ~id ~peers ~election_ticks ~rand ~send () =
+    make ~connectivity_priority:true ?batching ?compaction ~id ~peers
+      ~election_ticks ~rand ~send ()
 
   let handle = handle
   let tick = tick
@@ -127,5 +163,7 @@ module Connectivity_priority = struct
   let leader_pid = leader_pid
   let decided_count = decided_count
   let decided_ids = decided_ids
+  let decided_index = decided_index
+  let last_install = last_install
   let msg_size = msg_size
 end

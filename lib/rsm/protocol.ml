@@ -1,6 +1,19 @@
 (** The uniform interface the cluster driver and the experiments use to run
     any of the four replicated state machine protocols. *)
 
+type install = {
+  inst_seq : int;  (** counts installs on this server; strictly increasing *)
+  inst_cache_len : int;
+      (** [decided_count] at the moment of the install: decided ids at or
+          above this position were decided after (and on top of) the
+          installed state *)
+  inst_payload : string;  (** the {!Replog.Snapshot} envelope installed *)
+}
+(** A snapshot install observed on a server: the leader replaced this
+    server's state below the trim point with serialised state instead of
+    replaying log entries. Checkers use it to jump their per-server oracle
+    to the installed state. *)
+
 module type PROTOCOL = sig
   type t
   type msg
@@ -9,6 +22,7 @@ module type PROTOCOL = sig
 
   val create :
     ?batching:Omnipaxos.Batching.config ->
+    ?compaction:Omnipaxos.Compaction.config ->
     id:int ->
     peers:int list ->
     election_ticks:int ->
@@ -25,7 +39,14 @@ module type PROTOCOL = sig
       directly; Raft and Multi-Paxos translate it to their own knobs
       ([max_batch] caps entries per replication message, and an adaptive
       config enables a size-triggered eager flush at [min_batch] pending
-      entries), so Figure 7/8 comparisons stay apples-to-apples. *)
+      entries), so Figure 7/8 comparisons stay apples-to-apples.
+
+      [compaction] (default {!Omnipaxos.Compaction.disabled}) selects the
+      snapshot-and-trim trigger, translated the same way: Omni-Paxos
+      variants and VR run quorum-watermark compaction inside Sequence
+      Paxos; Raft and Multi-Paxos compact locally below their own
+      commit/decide watermark at the same [snapshot_interval]/[retain]
+      knobs, repairing stragglers with their own snapshot messages. *)
 
   val handle : t -> src:int -> msg -> unit
   val tick : t -> unit
@@ -54,6 +75,16 @@ module type PROTOCOL = sig
   val decided_ids : t -> from:int -> int list
   (** Ids of the decided client commands, starting from decided position
       [from]. *)
+
+  val decided_index : t -> int
+  (** The protocol-level decided/commit log index (absolute, so it keeps
+      counting across compaction). Unlike {!decided_count} it includes
+      protocol-internal entries and survives a snapshot install without a
+      gap, which makes it the right "caught up yet?" probe for benches. *)
+
+  val last_install : t -> install option
+  (** The most recent snapshot install on this server, if any (compaction
+      must be enabled for installs to happen). *)
 
   val msg_size : msg -> int
 end

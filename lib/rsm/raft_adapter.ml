@@ -9,6 +9,8 @@ type t = {
   cache : Protocol.Decided_cache.t;
   obs : Protocol.Obs_hooks.t;
   mutable scanned : int;
+  mutable install_seq : int;
+  mutable last_install : Protocol.install option;
 }
 
 let scan t upto =
@@ -28,8 +30,9 @@ let scan t upto =
     t.scanned <- upto
   end
 
-let make ~pre_vote ~check_quorum ?(batching = Omnipaxos.Batching.fixed) ~id
-    ~peers ~election_ticks ~rand ~send () =
+let make ~pre_vote ~check_quorum ?(batching = Omnipaxos.Batching.fixed)
+    ?(compaction = Omnipaxos.Compaction.disabled) ~id ~peers ~election_ticks
+    ~rand ~send () =
   let cache = Protocol.Decided_cache.create () in
   let t_ref = ref None in
   let on_commit idx =
@@ -48,13 +51,60 @@ let make ~pre_vote ~check_quorum ?(batching = Omnipaxos.Batching.fixed) ~id
   let eager_batch =
     if b.Omnipaxos.Batching.adaptive then b.Omnipaxos.Batching.min_batch else 0
   in
+  (* Translate the shared compaction knob the same way; Raft compacts
+     locally below its own commit index, so the adapter supplies the trace
+     events Sequence Paxos emits internally. *)
+  let c = Omnipaxos.Compaction.validated compaction in
+  let on_compact ~upto ~entries =
+    if Obs.Trace.on () then begin
+      (match !t_ref with
+      | Some t ->
+          Obs.Trace.emit ~node:id
+            (Obs.Event.Snapshot_taken
+               { idx = upto; bytes = String.length (N.snapshot t.node) })
+      | None -> ());
+      Obs.Trace.emit ~node:id (Obs.Event.Log_trimmed { upto; entries })
+    end
+  in
+  let on_install idx payload =
+    match !t_ref with
+    | Some t ->
+        (* Entries below [idx] are gone from the log: jump the scan cursor
+           and record the install for checkers. Fires before the commit
+           index advances over the installed state. *)
+        t.scanned <- max t.scanned idx;
+        t.install_seq <- t.install_seq + 1;
+        t.last_install <-
+          Some
+            {
+              Protocol.inst_seq = t.install_seq;
+              inst_cache_len = Protocol.Decided_cache.count t.cache;
+              inst_payload = payload;
+            };
+        if Obs.Trace.on () then
+          Obs.Trace.emit ~node:id
+            (Obs.Event.Snapshot_installed
+               { idx; bytes = String.length payload })
+    | None -> ()
+  in
   let node =
     N.create ~id ~voters:(id :: peers) ~pre_vote ~check_quorum
-      ~max_batch:b.Omnipaxos.Batching.max_batch ~eager_batch ~election_ticks
-      ~rand ~persistent:(N.fresh_persistent ()) ~send ~on_commit ()
+      ~max_batch:b.Omnipaxos.Batching.max_batch ~eager_batch
+      ~snapshot_interval:c.Omnipaxos.Compaction.snapshot_interval
+      ~retain:c.Omnipaxos.Compaction.retain ~on_compact ~on_install
+      ~election_ticks ~rand ~persistent:(N.fresh_persistent ()) ~send
+      ~on_commit ()
   in
   let t =
-    { id; node; cache; obs = Protocol.Obs_hooks.create (); scanned = 0 }
+    {
+      id;
+      node;
+      cache;
+      obs = Protocol.Obs_hooks.create ();
+      scanned = 0;
+      install_seq = 0;
+      last_install = None;
+    }
   in
   t_ref := Some t;
   t
@@ -105,6 +155,8 @@ module Plain = struct
   let leader_pid t = N.leader_pid t.node
   let decided_count t = Protocol.Decided_cache.count t.cache
   let decided_ids t ~from = Protocol.Decided_cache.ids_from t.cache ~from
+  let decided_index t = N.commit_idx t.node
+  let last_install t = t.last_install
   let msg_size = N.msg_size
   let node t = t.node
 end

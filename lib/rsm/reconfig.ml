@@ -85,6 +85,11 @@ module Omni = struct
     | New_config of { cfg : int; nodes : int list; total : int }
     | Seg_req of { cfg : int; seg : int; from_idx : int; upto : int }
     | Seg_resp of { cfg : int; seg : int; from_idx : int; entries : Omnipaxos.Entry.t list }
+    | Snap_req of { cfg : int }
+    | Snap_resp of { cfg : int; idx : int; cmds : int; payload : string }
+        (** snapshot of the decided prefix [0, idx) with [cmds] client
+            commands below it; replaces entry-by-entry migration of the
+            compacted base *)
 
   let wire_size = function
     | Rep { m; _ } -> 9 + R.msg_size m
@@ -92,16 +97,24 @@ module Omni = struct
     | Seg_req _ -> 33
     | Seg_resp { entries; _ } ->
         33 + List.fold_left (fun a e -> a + Omnipaxos.Entry.size e) 0 entries
+    | Snap_req _ -> 17
+    | Snap_resp { payload; _ } -> 33 + String.length payload
 
   type migration = {
     total : int;
     donors : int array;
     seg_size : int;
-    received : int array;  (** entries received per segment *)
-    attempts : int array;  (** re-request count per segment, for donor rotation *)
-    store : Omnipaxos.Entry.t list list array;
+    mutable received : int array;  (** entries received per segment *)
+    mutable attempts : int array;
+        (** re-request count per segment, for donor rotation *)
+    mutable store : Omnipaxos.Entry.t list list array;
         (** per segment: the received chunks, most recent first *)
     mutable remaining_segments : int;
+    mutable snap_pending : bool;
+        (** waiting for the base snapshot before striping the tail *)
+    mutable snap_attempts : int;  (** snapshot re-requests, for rotation *)
+    mutable snap_cmds : int;  (** client commands covered by the snapshot *)
+    mutable tail_from : int;  (** striped tail covers [tail_from, total) *)
   }
 
   type server = {
@@ -176,7 +189,8 @@ module Omni = struct
     let on_decide _ = on_replica_decide t s ~cfg (Option.get !replica) in
     let r =
       R.create ~id:s.id ~peers ~hb_ticks:(election_ticks t)
-        ~batching:t.p.net_cfg.Cluster.batching ~storage
+        ~batching:t.p.net_cfg.Cluster.batching
+        ~compaction:t.p.net_cfg.Cluster.compaction ~storage
         ~send:(fun ~dst m -> send_wire t s.id dst (Rep { cfg; m }))
         ~on_decide ()
     in
@@ -215,41 +229,79 @@ module Omni = struct
       ss.Omnipaxos.Entry.nodes;
     check_all_running t ~cfg:ss.Omnipaxos.Entry.config_id
 
-  (* Parallel log migration: stripe segments across the continuing servers. *)
+  let seg_bounds m k =
+    let from_idx = m.tail_from + (k * m.seg_size) in
+    (from_idx, min m.total (from_idx + m.seg_size))
+
+  let finish_migration t s ~cfg ~nodes m =
+    let base =
+      List.concat
+        (Array.to_list
+           (Array.map (fun chunks -> List.concat (List.rev chunks)) m.store))
+    in
+    s.base_cmds <- m.snap_cmds + count_client_cmds base;
+    s.migration <- None;
+    start_replica t s ~cfg ~nodes ~storage:(R.Storage.create ());
+    check_all_running t ~cfg
+
+  (* Stripe the decided tail [from, total) across the donors; the prefix
+     below [from] is covered by an already-received snapshot (or empty when
+     compaction is off and [from = 0]). *)
+  let start_tail t s ~cfg m ~from =
+    m.tail_from <- from;
+    let span = max 0 (m.total - from) in
+    let nsegs = (span + m.seg_size - 1) / m.seg_size in
+    m.received <- Array.make nsegs 0;
+    m.attempts <- Array.make nsegs 0;
+    m.store <- Array.make nsegs [];
+    m.remaining_segments <- nsegs;
+    if nsegs = 0 then finish_migration t s ~cfg ~nodes:t.p.new_nodes m
+    else
+      for k = 0 to nsegs - 1 do
+        let from_idx, upto = seg_bounds m k in
+        let donor = m.donors.(k mod Array.length m.donors) in
+        send_wire t s.id donor (Seg_req { cfg; seg = k; from_idx; upto })
+      done
+
+  (* Parallel log migration. With compaction off the whole decided prefix
+     [0, total) is striped entry-by-entry across the continuing servers;
+     with compaction on the donors may have trimmed it, so the joiner first
+     fetches a state snapshot (O(state) bytes) and stripes only the tail
+     above it. *)
   let start_migration t s ~cfg ~total =
-    let donors = Array.of_list t.continuing in
-    let seg_size = t.p.segment_entries in
-    let nsegs = max 1 ((total + seg_size - 1) / seg_size) in
     let m =
       {
         total;
-        donors;
-        seg_size;
-        received = Array.make nsegs 0;
-        attempts = Array.make nsegs 0;
-        store = Array.make nsegs [];
-        remaining_segments = nsegs;
+        donors = Array.of_list t.continuing;
+        seg_size = t.p.segment_entries;
+        received = [||];
+        attempts = [||];
+        store = [||];
+        remaining_segments = 0;
+        snap_pending = false;
+        snap_attempts = 0;
+        snap_cmds = 0;
+        tail_from = 0;
       }
     in
     s.migration <- Some m;
     trace_milestone ~node:s.id ~config_id:cfg "migration-start";
-    for k = 0 to nsegs - 1 do
-      let from_idx = k * seg_size in
-      let upto = min total (from_idx + seg_size) in
-      let donor = donors.(k mod Array.length donors) in
-      send_wire t s.id donor (Seg_req { cfg; seg = k; from_idx; upto })
-    done
+    if Omnipaxos.Compaction.enabled t.p.net_cfg.Cluster.compaction then begin
+      m.snap_pending <- true;
+      send_wire t s.id m.donors.(0) (Snap_req { cfg })
+    end
+    else start_tail t s ~cfg m ~from:0
 
-  let seg_bounds m k =
-    let from_idx = k * m.seg_size in
-    (from_idx, min m.total (from_idx + m.seg_size))
-
-  (* Re-request incomplete segments, rotating to a different donor on each
-     attempt — an unreachable or crashed donor must not stall the
-     migration (the §6.1 resilience property). *)
+  (* Re-request incomplete segments (or the base snapshot), rotating to a
+     different donor on each attempt — an unreachable or crashed donor must
+     not stall the migration (the §6.1 resilience property). *)
   let request_missing t s ~cfg =
     match s.migration with
     | None -> ()
+    | Some m when m.snap_pending ->
+        m.snap_attempts <- m.snap_attempts + 1;
+        let donor = m.donors.(m.snap_attempts mod Array.length m.donors) in
+        send_wire t s.id donor (Snap_req { cfg })
     | Some m ->
         Array.iteri
           (fun k got ->
@@ -264,20 +316,33 @@ module Omni = struct
             end)
           m.received
 
-  let finish_migration t s ~cfg ~nodes m =
-    let base =
-      List.concat
-        (Array.to_list
-           (Array.map (fun chunks -> List.concat (List.rev chunks)) m.store))
-    in
-    s.base_cmds <- count_client_cmds base;
-    s.migration <- None;
-    start_replica t s ~cfg ~nodes ~storage:(R.Storage.create ());
-    check_all_running t ~cfg
+  (* A base snapshot covering [0, idx). Only the index and command count
+     feed the harness (which replays counts, not state); the payload is
+     carried for faithful byte accounting. *)
+  let on_snap_resp t s ~cfg ~idx ~cmds =
+    match s.migration with
+    | None -> ()
+    | Some m ->
+        if m.snap_pending then begin
+          m.snap_pending <- false;
+          m.snap_cmds <- cmds;
+          start_tail t s ~cfg m ~from:idx
+        end
+        else if idx > m.tail_from && m.remaining_segments > 0 then begin
+          (* Donors compacted past the tail base mid-migration (a donor
+             answered a below-floor [Seg_req] with its snapshot): restart
+             the tail on the newer base. The discarded chunks only fed the
+             command count, which [cmds] now covers. *)
+          m.snap_cmds <- cmds;
+          start_tail t s ~cfg m ~from:idx
+        end
 
   let on_seg_resp t s ~cfg ~seg ~from_idx ~entries =
     match s.migration with
     | None -> ()
+    (* A tail restart shrinks the segment arrays, so a response to an
+       earlier striping can carry an out-of-range segment id. *)
+    | Some m when seg >= Array.length m.received -> ()
     | Some m ->
         let seg_from, seg_upto = seg_bounds m seg in
         let expected_next = seg_from + m.received.(seg) in
@@ -299,18 +364,39 @@ module Omni = struct
           end
         end
 
+  (* Serve the compacted base: the snapshot covering [0, first_idx) plus
+     its client-command count, so a joiner seeds [base_cmds] without
+     replaying the trimmed prefix. *)
+  let on_snap_req t s ~src ~cfg =
+    match replica_of s 0 with
+    | None -> ()
+    | Some r0 ->
+        send_wire t s.id src
+          (Snap_resp
+             {
+               cfg;
+               idx = R.first_idx r0;
+               cmds = R.snapshot_client_cmds r0;
+               payload = R.snapshot r0;
+             })
+
   (* Serve decided entries of the old configuration (even a server that has
-     not seen the stop-sign yet can serve its decided prefix). *)
+     not seen the stop-sign yet can serve its decided prefix). A request
+     below this donor's trim point cannot be answered with entries — ship
+     the snapshot instead and let the joiner restart its tail above it. *)
   let on_seg_req t s ~src ~cfg ~seg ~from_idx ~upto =
     match replica_of s 0 with
     | None -> ()
     | Some r0 ->
-        let available = min upto (R.decided_idx r0) in
-        if available > from_idx then begin
-          let entries =
-            Log.sub (R.read_log r0) ~pos:from_idx ~len:(available - from_idx)
-          in
-          send_wire t s.id src (Seg_resp { cfg; seg; from_idx; entries })
+        if from_idx < R.first_idx r0 then on_snap_req t s ~src ~cfg
+        else begin
+          let available = min upto (R.decided_idx r0) in
+          if available > from_idx then begin
+            let entries =
+              Log.sub (R.read_log r0) ~pos:from_idx ~len:(available - from_idx)
+            in
+            send_wire t s.id src (Seg_resp { cfg; seg; from_idx; entries })
+          end
         end
 
   let handle t s ~src wire =
@@ -329,6 +415,9 @@ module Omni = struct
         on_seg_req t s ~src ~cfg ~seg ~from_idx ~upto
     | Seg_resp { cfg; seg; from_idx; entries } ->
         on_seg_resp t s ~cfg ~seg ~from_idx ~entries
+    | Snap_req { cfg } -> on_snap_req t s ~src ~cfg
+    | Snap_resp { cfg; idx; cmds; payload = _ } ->
+        on_snap_resp t s ~cfg ~idx ~cmds
 
   (* The proposal target: the most advanced non-stopped leader. *)
   let leader t =

@@ -9,6 +9,8 @@ type t = {
   cache : Protocol.Decided_cache.t;
   obs : Protocol.Obs_hooks.t;
   mutable scanned : int;
+  mutable install_seq : int;
+  mutable last_install : Protocol.install option;
 }
 
 type msg = N.msg
@@ -29,16 +31,42 @@ let scan t upto =
     entries;
   t.scanned <- upto
 
-let create ?batching ~id ~peers ~election_ticks ~rand ~send () =
+let create ?batching ?compaction ~id ~peers ~election_ticks ~rand ~send () =
   ignore rand;
   let cache = Protocol.Decided_cache.create () in
   let t_ref = ref None in
   let on_decide upto = match !t_ref with Some t -> scan t upto | None -> () in
+  (* Same bookkeeping as the Omni adapter: the embedded Sequence Paxos
+     emits the install trace event itself; here we only jump the scan
+     cursor past the installed prefix and record the install. *)
+  let on_snapshot idx payload =
+    match !t_ref with
+    | Some t ->
+        t.scanned <- max t.scanned idx;
+        t.install_seq <- t.install_seq + 1;
+        t.last_install <-
+          Some
+            {
+              Protocol.inst_seq = t.install_seq;
+              inst_cache_len = Protocol.Decided_cache.count t.cache;
+              inst_payload = payload;
+            }
+    | None -> ()
+  in
   let node =
-    N.create ~id ~peers ~election_ticks ?batching ~send ~on_decide ()
+    N.create ~id ~peers ~election_ticks ?batching ?compaction ~on_snapshot
+      ~send ~on_decide ()
   in
   let t =
-    { id; node; cache; obs = Protocol.Obs_hooks.create (); scanned = 0 }
+    {
+      id;
+      node;
+      cache;
+      obs = Protocol.Obs_hooks.create ();
+      scanned = 0;
+      install_seq = 0;
+      last_install = None;
+    }
   in
   t_ref := Some t;
   t
@@ -70,5 +98,7 @@ let is_leader t = N.is_leader t.node
 let leader_pid t = N.leader_pid t.node
 let decided_count t = Protocol.Decided_cache.count t.cache
 let decided_ids t ~from = Protocol.Decided_cache.ids_from t.cache ~from
+let decided_index t = Omnipaxos.Sequence_paxos.decided_idx (N.sequence_paxos t.node)
+let last_install t = t.last_install
 let msg_size = N.msg_size
 let node t = t.node

@@ -29,12 +29,16 @@ val create :
   peers:int list ->
   election_ticks:int ->
   ?batching:Omnipaxos.Batching.config ->
+  ?compaction:Omnipaxos.Compaction.config ->
+  ?on_snapshot:(int -> string -> unit) ->
   send:(dst:int -> msg -> unit) ->
   ?on_decide:(int -> unit) ->
   unit ->
   t
 (** [batching] selects the flush policy of the inner Sequence Paxos
-    instance (default {!Omnipaxos.Batching.fixed}). *)
+    instance (default {!Omnipaxos.Batching.fixed}); [compaction] (default
+    {!Omnipaxos.Compaction.disabled}) its snapshot-and-trim trigger, with
+    [on_snapshot] firing when a leader-shipped snapshot is installed. *)
 
 val handle : t -> src:int -> msg -> unit
 val tick : t -> unit

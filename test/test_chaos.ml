@@ -164,6 +164,73 @@ let test_campaign_reproducible () =
   in
   Alcotest.(check string) "two runs, identical summary" (show ()) (show ())
 
+(* Decided-prefix monotonicity must hold across snapshot installs: a node
+   repaired with a snapshot jumps its decided index forward, never back.
+   Record a compaction-heavy episode (crash + recover forces the install
+   path) and run every trace invariant over it. *)
+let test_invariants_across_install () =
+  let cfg =
+    {
+      Chaos.Campaign.default_config with
+      steps = 8;
+      compaction = Omnipaxos.Compaction.make ~retain:4 16;
+    }
+  in
+  let schedule =
+    Chaos.Nemesis.
+      [ Crash 2; Heal_all; Heal_all; Heal_all; Heal_all; Recover 2 ]
+  in
+  let _, recording =
+    Obs.Trace.with_recording (fun () ->
+        Omni_campaign.run_schedule cfg ~seed:13 ~schedule)
+  in
+  let events = recording.Obs.Trace.events in
+  let installs =
+    List.length
+      (List.filter
+         (fun (e : Obs.Event.t) ->
+           match e.Obs.Event.kind with
+           | Obs.Event.Snapshot_installed _ -> true
+           | _ [@lint.allow "D4"] -> false)
+         events)
+  in
+  check "the episode exercised a snapshot install" true (installs > 0);
+  List.iter
+    (fun (name, r) ->
+      check ("invariant " ^ name) true
+        (match r with
+        | Ok () -> true
+        | Error v ->
+            Format.eprintf "%s: %a@." name Obs.Invariant.pp_violation v;
+            false))
+    (Obs.Invariant.check_all events)
+
+(* Regression: a retransmitted (stale) snapshot install must not roll the
+   application state machine back. Both seeds below once produced a
+   single-op stale-read violation: a leader that answered two promises
+   from the same session-reset shipped the same snapshot twice, and the
+   second install landed after entries above its boundary had already
+   been decided (VR / Sequence Paxos), or a leader whose next-index was
+   rewound by a session reset re-shipped a snapshot whose tail the
+   follower had committed in the meantime (Raft PV+CQ). *)
+let test_stale_install_not_reapplied () =
+  List.iter
+    (fun (name, seed, steps) ->
+      match Chaos.Campaign.find_runner name with
+      | None -> Alcotest.failf "runner %s not registered" name
+      | Some r ->
+          let cfg =
+            {
+              Chaos.Campaign.default_config with
+              steps;
+              compaction = Omnipaxos.Compaction.make ~retain:4 16;
+            }
+          in
+          let s = r.cr_run cfg ~seed ~episodes:1 in
+          check (name ^ ": no stale-read violation") true
+            (s.Chaos.Campaign.s_failures = []))
+    [ ("vr", 3000, 24); ("raft-pvcq", 2056, 12) ]
+
 (* ---------------- campaigns on the real protocols ---------------- *)
 
 let test_correct_protocols_clean () =
@@ -245,6 +312,10 @@ let () =
         ] );
       ( "campaign",
         [
+          Alcotest.test_case "invariants hold across snapshot install" `Quick
+            test_invariants_across_install;
+          Alcotest.test_case "stale snapshot installs are not re-applied"
+            `Quick test_stale_install_not_reapplied;
           Alcotest.test_case "correct protocols stay clean" `Quick
             test_correct_protocols_clean;
           Alcotest.test_case "injected stale-read bug caught and shrunk"

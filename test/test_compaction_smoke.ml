@@ -1,0 +1,67 @@
+(* Compaction chaos smoke: one checked-in seed, an explicit fault schedule
+   whose crash/recover episodes cross the snapshot/trim boundary, run with
+   compaction enabled across all four clean protocols.
+
+   Node 2 is crashed while the survivors keep deciding; with a small
+   [snapshot_interval] the leader compacts past node 2's log before it
+   recovers, so its catch-up must go through the snapshot-install path
+   (Accept_sync snapshot / Install_snapshot / Snapshot) rather than entry
+   replay. The two [Restart_after_trim] opcodes then bounce nodes that have
+   already compacted, so their recovery replays a trimmed log on top of a
+   durable snapshot. The golden asserts the checker verdict plus two
+   booleans (did anything trim? did any snapshot install happen?) — no op
+   counts, so timing-neutral protocol changes do not churn it. *)
+
+let seed = 7
+
+let schedule =
+  Chaos.Nemesis.
+    [
+      Crash 2;
+      Heal_all;
+      Heal_all;
+      Heal_all;
+      Heal_all;
+      Heal_all;
+      Recover 2;
+      Heal_all;
+      Restart_after_trim 1;
+      Heal_all;
+      Restart_after_trim 0;
+      Heal_all;
+    ]
+
+let () =
+  let cfg =
+    {
+      Chaos.Campaign.default_config with
+      Chaos.Campaign.compaction = Omnipaxos.Compaction.make ~retain:4 16;
+    }
+  in
+  List.iter
+    (fun (r : Chaos.Campaign.runner) ->
+      if r.cr_name <> "faulty-raft" then begin
+        let trims = ref 0 and installs = ref 0 in
+        let sink =
+          Obs.Trace.subscribe (fun ev ->
+              match ev.Obs.Event.kind with
+              | Obs.Event.Log_trimmed _ -> incr trims
+              | Obs.Event.Snapshot_installed _ -> incr installs
+              | _ [@lint.allow "D4"] -> ())
+        in
+        let ep = r.cr_replay cfg ~seed ~schedule in
+        Obs.Trace.unsubscribe sink;
+        let verdict =
+          match ep.Chaos.Campaign.ep_check.Chaos.Checker.r_violation with
+          | None -> "OK"
+          | Some _ -> "VIOLATION"
+        in
+        let yn b = if b then "yes" else "no" in
+        Printf.printf
+          "%-12s applied %d/%d faults: %s (trimmed: %s, snapshot-installed: \
+           %s)\n"
+          r.cr_name ep.Chaos.Campaign.ep_applied (List.length schedule) verdict
+          (yn (!trims > 0))
+          (yn (!installs > 0))
+      end)
+    Chaos.Campaign.runners

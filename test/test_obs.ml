@@ -550,6 +550,26 @@ let test_two_leaders_one_ballot () =
              name = "single-leader-per-ballot" && r <> Ok ())
            (Invariant.check_all bad))
 
+(* Compaction events interleaved with decides must not trip the monotone
+   invariant: a snapshot install jumps a lagging node's decided index
+   forward (here node 2 installs at 5 after deciding 3), never back. *)
+let test_monotone_across_install () =
+  let tr =
+    legit_trace
+    @ [
+        ev ~time:8.0 ~node:1 (Event.Snapshot_taken { idx = 5; bytes = 40 });
+        ev ~time:8.1 ~node:1 (Event.Log_trimmed { upto = 5; entries = 5 });
+        ev ~time:8.2 ~node:1 (Event.Decided { b = b1; decided_idx = 6 });
+        ev ~time:8.5 ~node:2 (Event.Snapshot_installed { idx = 5; bytes = 40 });
+        ev ~time:8.6 ~node:2 (Event.Log_trimmed { upto = 5; entries = 2 });
+        ev ~time:9.0 ~node:2 (Event.Decided { b = b1; decided_idx = 6 });
+      ]
+  in
+  check "monotone across install" true
+    (Invariant.decided_prefix_monotonic tr = Ok ());
+  check "check_all all green" true
+    (List.for_all (fun (_, r) -> r = Ok ()) (Invariant.check_all tr))
+
 let test_decided_regression_detected () =
   let bad =
     legit_trace @ [ ev ~time:9.0 ~node:2 (Event.Decided { b = b1; decided_idx = 1 }) ]
@@ -641,6 +661,8 @@ let () =
             test_two_leaders_one_ballot;
           Alcotest.test_case "decided regression" `Quick
             test_decided_regression_detected;
+          Alcotest.test_case "monotone across snapshot install" `Quick
+            test_monotone_across_install;
         ] );
       ( "causal",
         [

@@ -135,6 +135,70 @@ let test_kv_snapshot_roundtrip () =
   check "empty value survives" true (Replog.Kv.get restored "gamma" = Some "");
   check_int "applied counter carried over" 4 (Replog.Kv.applied restored)
 
+(* The versioned snapshot envelope: byte-stable golden, round-trip and
+   corruption detection. The golden is load-bearing — snapshots cross the
+   wire between protocol versions, so the encoding must never drift
+   silently. *)
+let test_snapshot_envelope () =
+  let kv = Replog.Kv.create () in
+  let apply op = ignore (Replog.Kv.apply kv (Command.make ~id:0 op)) in
+  apply (Command.Kv_put ("a", "1"));
+  apply (Command.Kv_put ("b", "two"));
+  let bytes = Replog.Snapshot.encode ~last_idx:7 ~client_cmds:5 kv in
+  Alcotest.(check string)
+    "byte-stable encoding" "opxsnap1;7;5;c2163262;2;1:a1:11:b3:two" bytes;
+  let s = Replog.Snapshot.decode_exn bytes in
+  check_int "last_idx round-trips" 7 s.Replog.Snapshot.last_idx;
+  check_int "client_cmds round-trips" 5 s.Replog.Snapshot.client_cmds;
+  let restored = Replog.Snapshot.restore s in
+  check "state round-trips" true
+    (Replog.Kv.get restored "a" = Some "1"
+    && Replog.Kv.get restored "b" = Some "two");
+  (* Insertion order must not affect the bytes (key-sorted payload). *)
+  let kv2 = Replog.Kv.create () in
+  let apply2 op = ignore (Replog.Kv.apply kv2 (Command.make ~id:0 op)) in
+  apply2 (Command.Kv_put ("b", "two"));
+  apply2 (Command.Kv_put ("a", "1"));
+  check "history-independent bytes" true
+    (Replog.Snapshot.encode ~last_idx:7 ~client_cmds:5 kv2 = bytes);
+  (* Corruption and malformed input are rejected, not misparsed. *)
+  let flipped = Bytes.of_string bytes in
+  Bytes.set flipped (String.length bytes - 1) 'x';
+  check "checksum catches corruption" true
+    (Result.is_error (Replog.Snapshot.decode (Bytes.to_string flipped)));
+  check "bad magic rejected" true
+    (Result.is_error (Replog.Snapshot.decode ("nope" ^ bytes)));
+  check "truncated rejected" true
+    (Result.is_error (Replog.Snapshot.decode (String.sub bytes 0 12)))
+
+(* Index translation at the compaction boundary: trim at 0, at the decided
+   frontier, double-compaction, and the reset_to jump used by snapshot
+   installs. *)
+let test_trim_translation () =
+  let l = Log.of_list [ 10; 11; 12; 13; 14; 15 ] in
+  Log.trim l ~upto:0;
+  check_int "trim at 0 is a no-op" 0 (Log.first_idx l);
+  Log.trim l ~upto:4;
+  Log.trim l ~upto:6;
+  check_int "double compaction compounds" 6 (Log.first_idx l);
+  check_int "absolute length is unchanged" 6 (Log.length l);
+  check "suffix at the frontier is empty" true (Log.suffix l ~from:6 = []);
+  Log.append l 16;
+  check_int "appends continue above the frontier" 16 (Log.get l 6);
+  (* A snapshot install jumps the log to an offset it never reached. *)
+  let j = Log.create () in
+  Log.reset_to j ~offset:9;
+  check_int "reset_to sets first_idx" 9 (Log.first_idx j);
+  check_int "reset_to sets length" 9 (Log.length j);
+  check "reads below the installed offset raise" true
+    (try
+       ignore (Log.get j 8);
+       false
+     with Invalid_argument _ -> true);
+  Log.append j 99;
+  check_int "appends continue at the offset" 99 (Log.get j 9);
+  check "sub of the empty retained suffix" true (Log.sub j ~pos:9 ~len:0 = [])
+
 (* Snapshot/restore is lossless for random states. *)
 let prop_kv_snapshot_lossless =
   QCheck.Test.make ~name:"kv snapshot/restore is lossless" ~count:100
@@ -194,6 +258,9 @@ let () =
           Alcotest.test_case "kv semantics" `Quick test_kv_semantics;
           Alcotest.test_case "kv snapshot roundtrip" `Quick
             test_kv_snapshot_roundtrip;
+          Alcotest.test_case "snapshot envelope" `Quick test_snapshot_envelope;
+          Alcotest.test_case "trim index translation" `Quick
+            test_trim_translation;
         ] );
       ( "properties",
         [
