@@ -783,10 +783,195 @@ let run_compaction ~quick ~print =
   in
   envelope ~section:"compaction" ~seeds ~quick ~rows:(J.List json_rows)
 
+(* ------------------------------------------------------------------ *)
+(* Trace scale: codec density, streaming-analyzer memory, overhead     *)
+(* ------------------------------------------------------------------ *)
+
+(* Peak live words of [f], measured against the post-collection floor:
+   [Gc.full_major] before and after plus periodic sampling inside (the
+   caller invokes [sample] at its own cadence). Heap walks are expensive,
+   so the cadence is tens of samples, not per event. *)
+let with_peak_live_words f =
+  Gc.compact ();
+  let floor = (Gc.stat ()).Gc.live_words in
+  let peak = ref floor in
+  let sample () =
+    Gc.full_major ();
+    let lw = (Gc.stat ()).Gc.live_words in
+    if lw > !peak then peak := lw
+  in
+  let v = f sample in
+  sample ();
+  (v, !peak - floor)
+
+let run_trace_scale ~quick ~print =
+  header print
+    "Trace scale: binary codec density, streaming-analyzer memory bound,\n\
+     emit-time sampling overhead (synthetic open-loop replication trace;\n\
+     gates: bin >= 5x denser than JSONL, analyzer memory flat in trace\n\
+     length, sampled tracing < 10% over tracing-off)";
+  let seed = 1 and nodes = 5 in
+  let events = if quick then 100_000 else 1_000_000 in
+  let synth n f = Obs.Synth.iter ~nodes ~seed ~events:n f in
+
+  (* Codec density: stream the synthetic trace through both encoders,
+     counting bytes without retaining events. Wall-clock encode rates are
+     informational (_ci fields, ignored by the baseline compare); byte
+     counts and the ratio are deterministic. *)
+  let jsonl_bytes = ref 0 in
+  let t0 = Sys.time () in
+  synth events (fun e ->
+      jsonl_bytes := !jsonl_bytes + String.length (Obs.Event.to_json e) + 1);
+  let jsonl_s = Sys.time () -. t0 in
+  let bin_bytes = ref 0 in
+  let t0 = Sys.time () in
+  let w =
+    Obs.Tracebin.writer
+      ~meta:[ ("gen", "synth"); ("seed", string_of_int seed) ]
+      (fun s -> bin_bytes := !bin_bytes + String.length s)
+  in
+  synth events (Obs.Tracebin.write w);
+  Obs.Tracebin.flush w;
+  let bin_s = Sys.time () -. t0 in
+  let ratio = float_of_int !jsonl_bytes /. float_of_int !bin_bytes in
+  let compression_ok = ratio >= 5.0 in
+  say print "events              : %d\n" events;
+  say print "jsonl               : %d bytes (%.1f B/event, %.0f events/s)\n"
+    !jsonl_bytes
+    (float_of_int !jsonl_bytes /. float_of_int events)
+    (float_of_int events /. Float.max jsonl_s 1e-9);
+  say print "bin                 : %d bytes (%.1f B/event, %.0f events/s)\n"
+    !bin_bytes
+    (float_of_int !bin_bytes /. float_of_int events)
+    (float_of_int events /. Float.max bin_s 1e-9);
+  say print "compression         : %.2fx %s\n" ratio
+    (if compression_ok then "(>= 5x: ok)" else "(FAIL: below the 5x gate)");
+
+  (* Streaming analyzer: peak live words at full length vs a fifth of it.
+     Bounded state means the peak is flat in trace length (the windows,
+     sketches and caps dominate); a superlinear analyzer fails the gate. *)
+  let analyze_peak n =
+    let (), peak =
+      with_peak_live_words (fun sample ->
+          let s = Obs.Analyze.Stream.create ~n_hint:nodes () in
+          let stride = max 1 (n / 16) in
+          let i = ref 0 in
+          synth n (fun e ->
+              Obs.Analyze.Stream.observe s e;
+              incr i;
+              if !i mod stride = 0 then sample ());
+          ignore (Obs.Analyze.Stream.finish s))
+    in
+    peak
+  in
+  let t0 = Sys.time () in
+  let peak_full = analyze_peak events in
+  let analyze_s = Sys.time () -. t0 in
+  let peak_fifth = analyze_peak (events / 5) in
+  (* Flat within 2x: the short run may sit below cap-fill, never above. *)
+  let bounded_ok = peak_full <= max (2 * peak_fifth) (peak_fifth + 2_000_000) in
+  say print "analyzer peak live  : %d words at %d events, %d at %d (%s)\n"
+    peak_full events peak_fifth (events / 5)
+    (if bounded_ok then "flat: ok" else "FAIL: grows with trace length");
+  say print "analyzer throughput : %.0f events/s\n"
+    (float_of_int events /. Float.max analyze_s 1e-9);
+
+  (* Emit-time overhead: the shared overhead workload (a real simulated
+     cluster exercising every instrumented hot path) with tracing off vs
+     sampled tracing (rate 10) into the binary encoder, interleaved
+     min-of-trials so drift hits both equally. Full-fidelity tracing is
+     measured too, informationally — the <10% gate is on the sampled
+     configuration, which is the one meant for million-event runs. *)
+  (* Never shrink reps below calibration: the trial must dwarf Sys.time's
+     resolution or the percentages are noise. *)
+  let reps = Workload.calibrate_reps () in
+  let trials = if quick then 5 else 7 in
+  let best_off = ref infinity
+  and best_sampled = ref infinity
+  and best_full = ref infinity
+  and sampled_ratios = ref []
+  and full_ratios = ref [] in
+  let traced sampling =
+    Obs.Trace.set_sampling sampling;
+    Obs.Trace.set_enabled true;
+    let w = Obs.Tracebin.writer ignore in
+    let id = Obs.Trace.subscribe (Obs.Tracebin.write w) in
+    let t, _ = Workload.time_reps reps in
+    Obs.Trace.unsubscribe id;
+    Obs.Trace.set_enabled false;
+    Obs.Trace.set_sampling None;
+    t
+  in
+  for _ = 1 to trials do
+    (* Per-round paired ratios: each traced run is divided by the off run
+       measured adjacently, so slow machine phases (frequency scaling,
+       noisy neighbours) mostly cancel instead of polluting one side of a
+       global minimum. The gate uses the median ratio across rounds —
+       min would be biased by rounds where noise favours the traced leg. *)
+    Obs.Trace.set_enabled false;
+    let off, _ = Workload.time_reps reps in
+    best_off := Float.min !best_off off;
+    let sampled =
+      (* head:0 — the always-keep head is a short-trace nicety; at scale
+         it is noise (0.1% of a 1M-event run) and including it here would
+         understate the steady-state benefit on this short workload. *)
+      traced (Some (Obs.Sampling.create ~head:0 ~rate:10 ()))
+    in
+    best_sampled := Float.min !best_sampled sampled;
+    sampled_ratios := (sampled /. Float.max off 1e-9) :: !sampled_ratios;
+    let full = traced None in
+    best_full := Float.min !best_full full;
+    full_ratios := (full /. Float.max off 1e-9) :: !full_ratios
+  done;
+  let median l =
+    let a = Array.of_list l in
+    Array.sort Float.compare a;
+    a.(Array.length a / 2)
+  in
+  let sampled_pct = 100.0 *. (median !sampled_ratios -. 1.0)
+  and full_pct = 100.0 *. (median !full_ratios -. 1.0) in
+  let overhead_ok = sampled_pct < 10.0 in
+  say print "tracing off         : %.1f ms (min of %d trials x %d runs)\n"
+    (!best_off *. 1000.0) trials reps;
+  say print "sampled bin tracing : %.1f ms (%+.1f%%, gate < 10%%: %s)\n"
+    (!best_sampled *. 1000.0) sampled_pct
+    (if overhead_ok then "ok" else "FAIL");
+  say print "full bin tracing    : %.1f ms (%+.1f%%, informational)\n"
+    (!best_full *. 1000.0) full_pct;
+
+  let row =
+    J.Obj
+      [
+        ("events_count", J.Int events);
+        ("jsonl_bytes", J.Int !jsonl_bytes);
+        ("bin_bytes", J.Int !bin_bytes);
+        ("compression_ratio_pct", J.float (100.0 *. ratio));
+        ("compression_gate_5x", J.Bool compression_ok);
+        ("analyzer_peak_live_words_count", J.Int peak_full);
+        ("analyzer_peak_live_words_fifth_count", J.Int peak_fifth);
+        ("analyzer_memory_bounded", J.Bool bounded_ok);
+        (* _ci: derived from wall-clock, so excluded from baseline compare;
+           the enforced version of this gate is bench/check_sampling_overhead
+           (dune build @check-overhead), which retries across noise spikes. *)
+        ("sampled_overhead_gate_10pct_ci", J.Bool overhead_ok);
+        (* Wall-clock figures: machine-dependent, excluded from the
+           baseline compare via the _ci (ignore) tolerance class. *)
+        ( "encode_events_per_s_ci",
+          J.float (float_of_int events /. Float.max bin_s 1e-9) );
+        ( "analyze_events_per_s_ci",
+          J.float (float_of_int events /. Float.max analyze_s 1e-9) );
+        ("sampled_overhead_pct_ci", J.float sampled_pct);
+        ("full_overhead_pct_ci", J.float full_pct);
+      ]
+  in
+  envelope ~section:"trace_scale" ~seeds:[ seed ] ~quick
+    ~rows:(J.List [ row ])
+
 let all_names =
   [
     "table1"; "fig7"; "fig8a"; "fig8b"; "fig8c"; "fig9a"; "fig9b"; "fig9c";
     "ablations"; "policy"; "micro"; "recovery"; "profile"; "compaction";
+    "trace_scale";
   ]
 
 let run name ~quick ~print =
@@ -844,4 +1029,5 @@ let run name ~quick ~print =
   | "recovery" -> Some (run_recovery ~quick ~print)
   | "profile" -> Some (run_profile ~quick ~print)
   | "compaction" -> Some (run_compaction ~quick ~print)
+  | "trace_scale" -> Some (run_trace_scale ~quick ~print)
   | _ -> None

@@ -6,29 +6,90 @@
      opx partition --scenario quorum-loss down-time under partial partitions
      opx chained                          chained-scenario decided counts
      opx reconfig  [--majority]           reconfiguration comparison
-     opx trace     [--out t.jsonl]        traced scenario runs + invariants
+     opx trace     [--out t.trace]        traced scenario runs + invariants
 
-   Every experiment subcommand also takes [--trace FILE] to record a JSONL
-   event trace of the whole run (see README "Trace format"). *)
+   Every experiment subcommand also takes [--trace FILE] to record an event
+   trace of the whole run — JSONL or the compact binary format, selected
+   with [--trace-format] — and [--sample-rate K] to keep only 1 in K of the
+   high-volume data-path events (see README "Trace format"). *)
 
 open Cmdliner
 module E = Rsm.Experiments
 
 let pf = Printf.printf
 
-(* Shared [--trace FILE] option: run the experiment with the tracer feeding
-   a JSONL file. *)
+(* Shared tracing options: [--trace FILE] runs the experiment with the
+   tracer feeding a trace file, [--trace-format] picks the encoding and
+   [--sample-rate]/[--sample-head] install emit-time sampling. *)
 let trace_arg =
   Arg.(
     value
     & opt (some string) None
     & info [ "trace" ] ~docv:"FILE"
-        ~doc:"Record a JSONL trace of every event in the run to $(docv).")
+        ~doc:"Record a trace of every event in the run to $(docv).")
 
-let with_trace trace f =
-  match trace with
-  | None -> f ()
-  | Some file -> Obs.Trace.with_jsonl ~file f
+let trace_format_conv =
+  Arg.enum [ ("jsonl", Obs.Tracebin.Jsonl); ("bin", Obs.Tracebin.Bin) ]
+
+let trace_format_arg =
+  Arg.(
+    value
+    & opt trace_format_conv Obs.Tracebin.Jsonl
+    & info [ "trace-format" ] ~docv:"FORMAT"
+        ~doc:
+          "Trace encoding: $(b,jsonl) (one JSON object per line) or \
+           $(b,bin) (compact binary; ~an order of magnitude smaller, with \
+           run metadata and sampling rates in the header).")
+
+let sample_rate_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "sample-rate" ] ~docv:"K"
+        ~doc:
+          "Emit-time sampling: keep 1 in $(docv) of the high-volume \
+           data-path events (proposed, accepted, batch_flush, send, \
+           deliver; send/deliver pairs are kept or dropped together). \
+           Faults, elections and invariant inputs are never sampled. 1 \
+           (the default) keeps everything.")
+
+let sample_head_arg =
+  Arg.(
+    value & opt int 1000
+    & info [ "sample-head" ] ~docv:"N"
+        ~doc:
+          "With --sample-rate: always keep the first $(docv) events of \
+           each sampled kind before thinning.")
+
+type tracing = {
+  t_file : string option;
+  t_format : Obs.Tracebin.format;
+  t_rate : int;
+  t_head : int;
+}
+
+let tracing_term =
+  let mk t_file t_format t_rate t_head = { t_file; t_format; t_rate; t_head } in
+  Term.(
+    const mk $ trace_arg $ trace_format_arg $ sample_rate_arg
+    $ sample_head_arg)
+
+let with_tracing tr f =
+  let prev = Obs.Trace.sampling () in
+  if tr.t_rate > 1 then
+    Obs.Trace.set_sampling
+      (Some (Obs.Sampling.create ~head:tr.t_head ~rate:tr.t_rate ()));
+  let finish () = Obs.Trace.set_sampling prev in
+  match
+    match tr.t_file with
+    | None -> f ()
+    | Some file -> Obs.Trace.with_file ~file ~format:tr.t_format f
+  with
+  | v ->
+      finish ();
+      v
+  | exception e ->
+      finish ();
+      raise e
 
 (* Shared [--health] flag: run the experiment with the online liveness
    monitor subscribed as a tracer sink, and print its alerts, partition
@@ -100,8 +161,8 @@ let with_health ~n ~election_timeout_ms health f =
 (* ---------------- table1 ---------------- *)
 
 let table1_cmd =
-  let run trace health seeds partition_s =
-    with_trace trace @@ fun () ->
+  let run tracing health seeds partition_s =
+    with_tracing tracing @@ fun () ->
     with_health ~n:5 ~election_timeout_ms:50.0 health @@ fun () ->
     let rows =
       E.table1 ~seeds:(List.init seeds (fun i -> i + 1))
@@ -126,13 +187,13 @@ let table1_cmd =
   in
   Cmd.v
     (Cmd.info "table1" ~doc:"Reproduce Table 1 (stable-progress matrix)")
-    Term.(const run $ trace_arg $ health_arg $ seeds $ partition_s)
+    Term.(const run $ tracing_term $ health_arg $ seeds $ partition_s)
 
 (* ---------------- normal ---------------- *)
 
 let normal_cmd =
-  let run trace health wan servers cp duration_s seeds =
-    with_trace trace @@ fun () ->
+  let run tracing health wan servers cp duration_s seeds =
+    with_tracing tracing @@ fun () ->
     with_health ~n:servers ~election_timeout_ms:50.0 health @@ fun () ->
     let rows =
       E.normal_execution
@@ -168,8 +229,8 @@ let normal_cmd =
   Cmd.v
     (Cmd.info "normal" ~doc:"Regular execution throughput (Figure 7)")
     Term.(
-      const run $ trace_arg $ health_arg $ wan $ servers $ cp $ duration_s
-      $ seeds)
+      const run $ tracing_term $ health_arg $ wan $ servers $ cp
+      $ duration_s $ seeds)
 
 (* ---------------- partition ---------------- *)
 
@@ -178,8 +239,8 @@ let scenario_conv =
     [ ("quorum-loss", E.Quorum_loss); ("constrained", E.Constrained) ]
 
 let partition_cmd =
-  let run trace health kind timeout_ms partition_s seeds =
-    with_trace trace @@ fun () ->
+  let run tracing health kind timeout_ms partition_s seeds =
+    with_tracing tracing @@ fun () ->
     with_health ~n:5 ~election_timeout_ms:(float_of_int timeout_ms) health
     @@ fun () ->
     let rows =
@@ -221,14 +282,14 @@ let partition_cmd =
     (Cmd.info "partition"
        ~doc:"Down-time under partial partitions (Figures 8a/8b)")
     Term.(
-      const run $ trace_arg $ health_arg $ kind $ timeout_ms $ partition_s
-      $ seeds)
+      const run $ tracing_term $ health_arg $ kind $ timeout_ms
+      $ partition_s $ seeds)
 
 (* ---------------- chained ---------------- *)
 
 let chained_cmd =
-  let run trace health duration_s seeds =
-    with_trace trace @@ fun () ->
+  let run tracing health duration_s seeds =
+    with_tracing tracing @@ fun () ->
     with_health ~n:3 ~election_timeout_ms:50.0 health @@ fun () ->
     let rows =
       E.chained_throughput
@@ -255,13 +316,13 @@ let chained_cmd =
   in
   Cmd.v
     (Cmd.info "chained" ~doc:"Chained-scenario decided requests (Figure 8c)")
-    Term.(const run $ trace_arg $ health_arg $ duration_s $ seeds)
+    Term.(const run $ tracing_term $ health_arg $ duration_s $ seeds)
 
 (* ---------------- reconfig ---------------- *)
 
 let reconfig_cmd =
-  let run trace majority cp preload total_s =
-    with_trace trace @@ fun () ->
+  let run tracing majority cp preload total_s =
+    with_tracing tracing @@ fun () ->
     let params, omni, raft =
       E.reconfiguration ~preload ~cp ~replace_majority:majority
         ~total_ms:(float_of_int total_s *. 1000.0)
@@ -304,7 +365,7 @@ let reconfig_cmd =
   in
   Cmd.v
     (Cmd.info "reconfig" ~doc:"Reconfiguration comparison (Figure 9)")
-    Term.(const run $ trace_arg $ majority $ cp $ preload $ total_s)
+    Term.(const run $ tracing_term $ majority $ cp $ preload $ total_s)
 
 (* ---------------- trace ---------------- *)
 
@@ -320,16 +381,17 @@ let proto_conv =
 
 let analyze_cmd =
   let run file json timeout_ms =
+    let health =
+      Option.map
+        (fun ms ->
+          (* Cluster size is inferred from the trace, so the config is
+             built with a placeholder n and resized by the analyzer. *)
+          Obs.Health.default_config ~n:0 ~election_timeout_ms:ms)
+        timeout_ms
+    in
     match
-      Obs.Analyze.of_file
-        ?health:
-          (Option.map
-             (fun ms ->
-               (* Cluster size is inferred from the trace, so the config is
-                  built with a placeholder n and resized by [of_file]. *)
-               Obs.Health.default_config ~n:0 ~election_timeout_ms:ms)
-             timeout_ms)
-        file
+      if String.equal file "-" then Obs.Analyze.of_channel ?health stdin
+      else Obs.Analyze.of_file ?health file
     with
     | Error e ->
         Printf.eprintf "opx trace analyze: %s\n" e;
@@ -342,9 +404,13 @@ let analyze_cmd =
   let file =
     Arg.(
       required
-      & pos 0 (some file) None
+      & pos 0 (some string) None
       & info [] ~docv:"FILE"
-          ~doc:"JSONL trace file (as written by --trace or opx trace --out).")
+          ~doc:
+            "Trace file (as written by --trace or opx trace --out), JSONL \
+             or binary — the format is sniffed from the first bytes. Pass \
+             $(b,-) to stream from stdin, e.g. as a live pipe from a \
+             traced run.")
   in
   let json =
     Arg.(
@@ -363,13 +429,113 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
-         "Deterministic offline analysis of a recorded JSONL trace: leader \
-          timelines, stall windows, commit-latency percentiles, causal \
-          critical paths, health alerts and invariants")
+         "Streaming bounded-memory analysis of a recorded trace (JSONL or \
+          binary; file or stdin): leader timelines, stall windows, \
+          commit-latency percentiles, causal critical paths, health alerts \
+          and invariants")
     Term.(const run $ file $ json $ timeout_ms)
 
+let convert_cmd =
+  let run src dst to_format =
+    let with_src f =
+      if String.equal src "-" then f (Obs.Tracebin.of_channel stdin)
+      else begin
+        let ic = try open_in_bin src with Sys_error e -> (Printf.eprintf "opx trace convert: %s\n" e; exit 2) in
+        Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+        f (Obs.Tracebin.of_channel ic)
+      end
+    in
+    let res =
+      try
+        with_src @@ fun s ->
+        let target =
+          (* Default: flip whatever the source is. *)
+          match to_format with
+          | Some f -> f
+          | None -> (
+              match Obs.Tracebin.source_format s with
+              | Obs.Tracebin.Jsonl -> Obs.Tracebin.Bin
+              | Obs.Tracebin.Bin -> Obs.Tracebin.Jsonl)
+        in
+        let oc = open_out_bin dst in
+        Fun.protect ~finally:(fun () -> close_out_noerr oc) @@ fun () ->
+        let n = ref 0 in
+        let r =
+          match target with
+          | Obs.Tracebin.Bin ->
+              let w =
+                Obs.Tracebin.writer ~meta:(Obs.Tracebin.meta s)
+                  (output_string oc)
+              in
+              let r =
+                Obs.Tracebin.iter s (fun e ->
+                    Obs.Tracebin.write w e;
+                    incr n)
+              in
+              Obs.Tracebin.flush w;
+              r
+          | Obs.Tracebin.Jsonl ->
+              Obs.Tracebin.iter s (fun e ->
+                  output_string oc (Obs.Event.to_json e);
+                  output_char oc '\n';
+                  incr n)
+        in
+        Result.map
+          (fun () ->
+            ( !n,
+              (match Obs.Tracebin.source_format s with
+              | Obs.Tracebin.Jsonl -> "jsonl"
+              | Obs.Tracebin.Bin -> "bin"),
+              match target with
+              | Obs.Tracebin.Jsonl -> "jsonl"
+              | Obs.Tracebin.Bin -> "bin" ))
+          r
+      with
+      | Obs.Tracebin.Decode_error e -> Error e
+      | Sys_error e -> Error e
+    in
+    match res with
+    | Error e ->
+        Printf.eprintf "opx trace convert: %s\n" e;
+        exit 2
+    | Ok (n, from_fmt, to_fmt) ->
+        pf "converted %d events (%s -> %s) to %s\n" n from_fmt to_fmt dst
+  in
+  let src =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SRC"
+          ~doc:
+            "Input trace, JSONL or binary (sniffed). Pass $(b,-) for \
+             stdin.")
+  in
+  let dst =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"DST" ~doc:"Output trace file.")
+  in
+  let to_format =
+    Arg.(
+      value
+      & opt (some trace_format_conv) None
+      & info [ "to" ] ~docv:"FORMAT"
+          ~doc:
+            "Target encoding ($(b,jsonl) or $(b,bin)). Defaults to the \
+             opposite of the input's format. Header metadata (run \
+             parameters, sampling rates) is carried across bin->bin; JSONL \
+             has no header, so jsonl targets drop it.")
+  in
+  Cmd.v
+    (Cmd.info "convert"
+       ~doc:
+         "Convert a trace between the JSONL and compact binary encodings \
+          (either direction), streaming in constant memory")
+    Term.(const run $ src $ dst $ to_format)
+
 let trace_run_cmd =
-  let run pr out seed servers partition_s cp =
+  let run pr out format seed servers partition_s cp =
     let runs =
       E.traced_scenarios ~pr ~seed ~n:servers
         ~partition_ms:(float_of_int partition_s *. 1000.0)
@@ -378,15 +544,20 @@ let trace_run_cmd =
     (match out with
     | None -> ()
     | Some file ->
-        let oc = open_out file in
-        List.iter
-          (fun (tr : E.traced_run) ->
-            List.iter
-              (fun e ->
+        let oc = open_out_bin file in
+        let each f = List.iter (fun (tr : E.traced_run) -> List.iter f tr.E.tr_events) runs in
+        (match format with
+        | Obs.Tracebin.Jsonl ->
+            each (fun e ->
                 output_string oc (Obs.Event.to_json e);
                 output_char oc '\n')
-              tr.E.tr_events)
-          runs;
+        | Obs.Tracebin.Bin ->
+            let w =
+              Obs.Tracebin.writer ~meta:(Obs.Trace.run_meta ())
+                (output_string oc)
+            in
+            each (Obs.Tracebin.write w);
+            Obs.Tracebin.flush w);
         close_out oc;
         pf "wrote %d events to %s\n"
           (List.fold_left
@@ -403,6 +574,13 @@ let trace_run_cmd =
           (if tr.E.tr_dropped > 0 then
              Printf.sprintf ", ring-dropped %d" tr.E.tr_dropped
            else "");
+        if tr.E.tr_dropped > 0 then begin
+          pf "   ring drops by kind:";
+          List.iter
+            (fun (k, c) -> pf " %s=%d" k c)
+            tr.E.tr_dropped_by_kind;
+          pf "\n"
+        end;
         Format.printf "%a@.@." Rsm.Trace_report.pp s;
         if not (Rsm.Trace_report.passed s) then failed := true)
       runs;
@@ -420,7 +598,9 @@ let trace_run_cmd =
       value
       & opt (some string) None
       & info [ "out" ] ~docv:"FILE"
-          ~doc:"Write the recorded events of all three runs to $(docv).")
+          ~doc:
+            "Write the recorded events of all three runs to $(docv), in \
+             the encoding chosen by $(b,--trace-format).")
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Run seed.") in
   let servers =
@@ -434,7 +614,9 @@ let trace_run_cmd =
   let cp =
     Arg.(value & opt int 50 & info [ "cp" ] ~doc:"Concurrent proposals.")
   in
-  Term.(const run $ proto $ out $ seed $ servers $ partition_s $ cp)
+  Term.(
+    const run $ proto $ out $ trace_format_arg $ seed $ servers
+    $ partition_s $ cp)
 
 let trace_cmd =
   Cmd.group
@@ -443,14 +625,16 @@ let trace_cmd =
        ~doc:
          "Run the three partial-connectivity scenarios with tracing on, \
           report per-kind event counts and the trace invariants (non-zero \
-          exit on a violation); or analyze a recorded trace file \
-          ($(b,opx trace analyze FILE))")
-    [ analyze_cmd ]
+          exit on a violation); analyze a recorded trace ($(b,opx trace \
+          analyze FILE), $(b,-) for stdin); or convert between encodings \
+          ($(b,opx trace convert SRC DST))")
+    [ analyze_cmd; convert_cmd ]
 
 (* ---------------- chaos ---------------- *)
 
 let chaos_cmd =
-  let run proto episodes seed servers clients steps compaction trace =
+  let run proto episodes seed servers clients steps compaction trace
+      trace_format =
     let runner =
       match Chaos.Campaign.find_runner proto with
       | Some r -> r
@@ -483,12 +667,8 @@ let chaos_cmd =
         | Some file ->
             (* Replay the first failure's minimal schedule with the tracer
                on, so the violating run can be inspected event by event. *)
-            let _ =
-              Obs.Trace.with_jsonl ~file (fun () ->
-                  runner.Chaos.Campaign.cr_replay cfg
-                    ~seed:f.Chaos.Campaign.f_seed
-                    ~schedule:f.Chaos.Campaign.f_minimal)
-            in
+            Chaos.Campaign.write_failure_trace ~file ~format:trace_format
+              runner cfg f;
             pf "trace of minimal failing schedule (seed %d) written to %s\n"
               f.Chaos.Campaign.f_seed file);
         exit 1
@@ -536,7 +716,8 @@ let chaos_cmd =
       & info [ "trace" ] ~docv:"FILE"
           ~doc:
             "On failure, replay the first minimal failing schedule and \
-             write its JSONL event trace to $(docv).")
+             write its event trace to $(docv) (encoding chosen by \
+             $(b,--trace-format)).")
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -547,7 +728,7 @@ let chaos_cmd =
           violation)")
     Term.(
       const run $ proto $ episodes $ seed $ servers $ clients $ steps
-      $ compaction $ trace)
+      $ compaction $ trace $ trace_format_arg)
 
 (* ---------------- metrics / top ---------------- *)
 

@@ -415,3 +415,13 @@ let runners =
 
 let find_runner name =
   List.find_opt (fun r -> r.cr_name = name) runners
+
+(* Replay one failing schedule with the tracer writing to [file] — binary
+   traces are ~an order of magnitude smaller than JSONL, which is what CI
+   uploads as the artifact for a red nightly campaign. *)
+let write_failure_trace ~file ~format runner cfg (f : failure) =
+  let (_ : episode) =
+    Obs.Trace.with_file ~file ~format (fun () ->
+        runner.cr_replay cfg ~seed:f.f_seed ~schedule:f.f_minimal)
+  in
+  ()

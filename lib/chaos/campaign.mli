@@ -117,3 +117,11 @@ val runners : runner list
     (the deliberately broken stale-read wrapper; expected to fail). *)
 
 val find_runner : string -> runner option
+
+val write_failure_trace :
+  file:string -> format:Obs.Tracebin.format -> runner -> config -> failure ->
+  unit
+(** Replay [failure]'s minimal schedule under the tracer, writing the event
+    trace to [file] in the given format (binary headers carry the run
+    metadata and any sampling rates), so a red campaign leaves an
+    inspectable artifact. *)

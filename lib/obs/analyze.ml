@@ -1,12 +1,19 @@
-(* Deterministic offline trace analyzer. Consumes a recorded event stream
-   (in-memory ring or JSONL file) and produces a report: per-node leader
-   timelines, stall windows, commit-latency percentiles with the span phase
-   breakdown, causal-DAG statistics, the causal critical path of the slowest
-   decided entries, health alerts/recovery episodes and invariant results.
+(* Deterministic trace analyzer. Consumes a recorded event stream
+   (in-memory ring, trace file or stdin) and produces a report: per-node
+   leader timelines, stall windows, commit-latency percentiles with the span
+   phase breakdown, causal-DAG statistics, the causal critical path of the
+   slowest decided entries, health alerts/recovery episodes and invariant
+   results.
 
-   Everything is a pure function of the input events — two runs over the
-   same trace render byte-identical reports (wired into the determinism
-   gate), so reports can be diffed and regression-gated. *)
+   The analysis itself is a single incremental fold with bounded state
+   ({!Stream}): spans are finalised as the decided watermark passes them,
+   causal pairing keeps only open sends, critical paths come from a bounded
+   window of recent events, and past [exact_limit] commit latencies the
+   percentiles switch to a log-bucket sketch. [run] is that same fold with
+   the bounds lifted, so it still renders byte-identical reports to the
+   historical whole-list implementation — two runs over the same trace
+   render byte-identical reports (wired into the determinism gate), so
+   reports can be diffed and regression-gated. *)
 
 module J = Bench_report.Json
 
@@ -36,6 +43,8 @@ type report = {
   n : int;
   events : int;
   ring_dropped : int;
+  ring_dropped_by_kind : (string * int) list;
+  sampling : (string * int) list;
   t_start : float;
   t_end : float;
   by_kind : (string * int) list;
@@ -67,66 +76,6 @@ let percentile sorted p =
     let rank = int_of_float (Float.round (p *. float_of_int n +. 0.5)) - 1 in
     sorted.(min (n - 1) (max 0 rank))
 
-let mean = function
-  | [] -> 0.0
-  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
-
-let commit_stats spans =
-  let decided =
-    List.filter_map
-      (fun s -> Option.map (fun t -> (s, t)) (Span.total s))
-      spans
-  in
-  if List.is_empty decided then None
-  else begin
-    let totals = Array.of_list (List.map snd decided) in
-    Array.sort Float.compare totals;
-    Some
-      {
-        spans_total = List.length spans;
-        spans_decided = List.length decided;
-        p50 = percentile totals 0.50;
-        p90 = percentile totals 0.90;
-        p99 = percentile totals 0.99;
-        max_ms = totals.(Array.length totals - 1);
-        mean_queueing =
-          mean (List.filter_map (fun (s, _) -> Span.queueing s) decided);
-        mean_replication =
-          mean (List.filter_map (fun (s, _) -> Span.replication s) decided);
-        mean_commit =
-          mean (List.filter_map (fun (s, _) -> Span.commit s) decided);
-      }
-  end
-
-(* Stall windows: gaps between successive advances of the cluster-wide
-   decided index (bounded by the trace ends) longer than [stall_ms]. *)
-let stall_windows ~stall_ms ~t_start ~t_end events =
-  let advances = ref [] in
-  let decided_max = ref 0 in
-  List.iter
-    (fun (e : Event.t) ->
-      match e.kind with
-      | Event.Decided { decided_idx; _ } ->
-          if decided_idx > !decided_max then begin
-            decided_max := decided_idx;
-            advances := e.time :: !advances
-          end
-      (* Event-stream filter: only decides advance the index. *)
-      | _ [@lint.allow "D4"] -> ())
-    events;
-  let advances = List.rev !advances in
-  let rec windows last = function
-    | [] ->
-        if t_end -. last > stall_ms then
-          [ { stall_from = last; stall_until = None } ]
-        else []
-    | t :: rest ->
-        if t -. last > stall_ms then
-          { stall_from = last; stall_until = Some t } :: windows t rest
-        else windows t rest
-  in
-  windows t_start advances
-
 let hop_desc (e : Event.t) =
   match e.kind with
   | Event.Proposed { log_idx; cmd_id } ->
@@ -149,17 +98,17 @@ let hop_desc (e : Event.t) =
      rendered path. *)
   | _ [@lint.allow "D4"] -> None
 
-(* The causal chain that gated the decision of [span]: back-walk from the
-   first Decided event past its index, stopping at its Proposed event. Only
-   pipeline-relevant hops are rendered, capped to the last [max_hops]. *)
-let critical_path_of ~max_hops events_arr (span : Span.t) total =
+(* The causal chain that gated the decision of entry [log_idx]: back-walk
+   from the first Decided event past its index, stopping at its Proposed
+   event. Only pipeline-relevant hops are rendered, capped to the last
+   [max_hops]. *)
+let critical_path_of ~max_hops events_arr ~log_idx ~total =
   let n = Array.length events_arr in
   let target = ref (-1) in
   (let i = ref 0 in
    while !target < 0 && !i < n do
      (match events_arr.(!i).Event.kind with
-     | Event.Decided { decided_idx; _ } when decided_idx > span.Span.log_idx
-       ->
+     | Event.Decided { decided_idx; _ } when decided_idx > log_idx ->
          target := !i
      (* Scanning for the decide that covered this entry. *)
      | _ [@lint.allow "D4"] -> ());
@@ -169,7 +118,7 @@ let critical_path_of ~max_hops events_arr (span : Span.t) total =
   else begin
     let stop (e : Event.t) =
       match e.kind with
-      | Event.Proposed { log_idx; _ } -> log_idx = span.Span.log_idx
+      | Event.Proposed { log_idx = li; _ } -> li = log_idx
       (* Keep walking until the proposal that started the span. *)
       | _ [@lint.allow "D4"] -> false
     in
@@ -180,7 +129,11 @@ let critical_path_of ~max_hops events_arr (span : Span.t) total =
           let e = events_arr.(i) in
           Option.map
             (fun desc ->
-              { hop_time = e.Event.time; hop_node = e.Event.node; hop_desc = desc })
+              {
+                hop_time = e.Event.time;
+                hop_node = e.Event.node;
+                hop_desc = desc;
+              })
             (hop_desc e))
         idxs
     in
@@ -189,119 +142,336 @@ let critical_path_of ~max_hops events_arr (span : Span.t) total =
       if len <= max_hops then hops
       else List.filteri (fun i _ -> i >= len - max_hops) hops
     in
-    Some
-      {
-        path_log_idx = span.Span.log_idx;
-        path_total_ms = total;
-        path_hops = hops;
-      }
+    Some { path_log_idx = log_idx; path_total_ms = total; path_hops = hops }
   end
 
-let run ?health ?(ring_dropped = 0) events =
-  let n =
-    1 + List.fold_left (fun acc (e : Event.t) -> max acc e.node) 0 events
-  in
-  let health_cfg =
-    match health with
-    (* Callers that only know the trace file (not the cluster) pass a config
-       with a placeholder [n]; grow it to the inferred size so the
-       partition-suspect matrix covers every node. *)
-    | Some c -> if c.Health.n >= n then c else { c with Health.n }
-    | None -> Health.default_config ~n ~election_timeout_ms:50.0
-  in
-  let t_start =
-    match events with [] -> 0.0 | e :: _ -> e.Event.time
-  in
-  let t_end =
-    List.fold_left (fun acc (e : Event.t) -> Float.max acc e.time) t_start
-      events
-  in
-  let kinds : (string, int) Hashtbl.t = Hashtbl.create 32 in
-  let drop_reasons : (string, int) Hashtbl.t = Hashtbl.create 8 in
-  let timeline : (int, (float * Event.ballot) list) Hashtbl.t =
-    Hashtbl.create 8
-  in
-  List.iter
-    (fun (e : Event.t) ->
-      count_by kinds (Event.kind_name e.kind);
-      match e.kind with
-      | Event.Msg_drop { reason; _ } -> count_by drop_reasons reason
-      | Event.Leader_elected b | Event.Leader_changed b ->
-          let prev =
-            Option.value (Hashtbl.find_opt timeline e.node) ~default:[]
-          in
-          Hashtbl.replace timeline e.node ((e.time, b) :: prev)
-      (* Counted above; no dedicated aggregation. *)
-      | _ [@lint.allow "D4"] -> ())
-    events;
-  let spans = Span.assemble ~n events in
-  let _, causal_stats = Causal.pair events in
-  let events_arr = Array.of_list events in
-  let slowest =
-    List.filter_map
-      (fun s -> Option.map (fun t -> (s, t)) (Span.total s))
-      spans
-    |> List.sort (fun (a, ta) (b, tb) ->
-           match Float.compare tb ta with
-           | 0 -> Int.compare a.Span.log_idx b.Span.log_idx
-           | c -> c)
-  in
+(* ------------------------------------------------------------------ *)
+(* Streaming analyzer                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Stream = struct
+  type t = {
+    health_cfg : Health.config;
+    quorum_fixed : int option;  (* Some q when the cluster size is known *)
+    exact_limit : int;
+    (* running basics *)
+    mutable seen : int;
+    mutable max_node : int;
+    mutable t_start : float option;
+    mutable t_end : float;
+    kinds : (string, int) Hashtbl.t;
+    drop_reasons : (string, int) Hashtbl.t;
+    timeline : (int, (float * Event.ballot) list) Hashtbl.t;
+    (* stall windows, emitted as the decided watermark advances *)
+    mutable decided_max : int;
+    mutable last_advance : float;
+    mutable stalls_rev : stall list;
+    (* commit-latency spans *)
+    tracker : Span.Tracker.t;
+    mutable exact_totals : float list;  (* newest-first, <= exact_limit *)
+    mutable exact_kept : int;
+    sketch : Metric.Histogram.t;
+    mutable n_decided : int;
+    mutable max_total : float;
+    mutable sum_queueing : float;
+    mutable sum_replication : float;
+    mutable sum_commit : float;
+    mutable n_queueing : int;
+    mutable n_replication : int;
+    mutable n_commit : int;
+    mutable top : (float * int) list;  (* slowest 3: (total, idx) *)
+    (* causal structure *)
+    pairing : Causal.Pairing.t;
+    clocks : Causal.Clock_check.t;
+    recent : Event.t Ring.t;  (* critical-path window *)
+    (* detectors *)
+    health : Health.t;
+    invariants : Invariant.Monitor.t;
+  }
+
+  let create ?health ?n_hint ?(window = 65_536) ?(exact_limit = 65_536)
+      ?(causal_cap = 262_144) () =
+    (* Without a known cluster size (single-pass stdin), the health suspect
+       matrix is sized for up to 64 nodes; with [n_hint] (file and in-memory
+       paths) it is exact. *)
+    let n_for_health = Option.value n_hint ~default:64 in
+    let health_cfg =
+      match health with
+      | Some c ->
+          if c.Health.n >= n_for_health then c
+          else { c with Health.n = n_for_health }
+      | None -> Health.default_config ~n:n_for_health ~election_timeout_ms:50.0
+    in
+    {
+      health_cfg;
+      quorum_fixed = Option.map (fun n -> (n / 2) + 1) n_hint;
+      exact_limit;
+      seen = 0;
+      max_node = 0;
+      t_start = None;
+      t_end = 0.0;
+      kinds = Hashtbl.create 32;
+      drop_reasons = Hashtbl.create 8;
+      timeline = Hashtbl.create 8;
+      decided_max = 0;
+      last_advance = 0.0;
+      stalls_rev = [];
+      tracker = Span.Tracker.create ();
+      exact_totals = [];
+      exact_kept = 0;
+      sketch = Metric.Histogram.create ();
+      n_decided = 0;
+      max_total = neg_infinity;
+      sum_queueing = 0.0;
+      sum_replication = 0.0;
+      sum_commit = 0.0;
+      n_queueing = 0;
+      n_replication = 0;
+      n_commit = 0;
+      top = [];
+      pairing = Causal.Pairing.create ~cap:causal_cap ();
+      clocks = Causal.Clock_check.create ~cap:causal_cap ();
+      recent = Ring.create ~capacity:(max 1 window);
+      health = Health.create health_cfg;
+      invariants = Invariant.Monitor.create ();
+    }
+
+  let top_cmp (ta, ia) (tb, ib) =
+    match Float.compare tb ta with 0 -> Int.compare ia ib | c -> c
+
   let rec take k = function
     | [] -> []
     | _ when k = 0 -> []
     | x :: rest -> x :: take (k - 1) rest
+
+  let note_decided s (c : Span.Tracker.closed) =
+    s.n_decided <- s.n_decided + 1;
+    let total = c.Span.Tracker.c_total in
+    if s.exact_kept < s.exact_limit then begin
+      s.exact_totals <- total :: s.exact_totals;
+      s.exact_kept <- s.exact_kept + 1
+    end;
+    Metric.Histogram.observe s.sketch total;
+    if total > s.max_total then s.max_total <- total;
+    (match c.Span.Tracker.c_queueing with
+    | Some v ->
+        s.sum_queueing <- s.sum_queueing +. v;
+        s.n_queueing <- s.n_queueing + 1
+    | None -> ());
+    (match c.Span.Tracker.c_replication with
+    | Some v ->
+        s.sum_replication <- s.sum_replication +. v;
+        s.n_replication <- s.n_replication + 1
+    | None -> ());
+    (match c.Span.Tracker.c_commit with
+    | Some v ->
+        s.sum_commit <- s.sum_commit +. v;
+        s.n_commit <- s.n_commit + 1
+    | None -> ());
+    s.top <-
+      take 3
+        (List.sort top_cmp ((total, c.Span.Tracker.c_log_idx) :: s.top))
+
+  let observe s (e : Event.t) =
+    s.seen <- s.seen + 1;
+    if e.node > s.max_node then s.max_node <- e.node;
+    (match s.t_start with
+    | None ->
+        s.t_start <- Some e.time;
+        s.t_end <- e.time;
+        s.last_advance <- e.time
+    | Some _ -> s.t_end <- Float.max s.t_end e.time);
+    count_by s.kinds (Event.kind_name e.kind);
+    (match e.kind with
+    | Event.Msg_drop { reason; _ } -> count_by s.drop_reasons reason
+    | Event.Leader_elected b | Event.Leader_changed b ->
+        let prev =
+          Option.value (Hashtbl.find_opt s.timeline e.node) ~default:[]
+        in
+        Hashtbl.replace s.timeline e.node ((e.time, b) :: prev)
+    (* Counted above; no dedicated aggregation. *)
+    | _ [@lint.allow "D4"] -> ());
+    (match e.kind with
+    | Event.Decided { decided_idx; _ } ->
+        if decided_idx > s.decided_max then begin
+          s.decided_max <- decided_idx;
+          if e.time -. s.last_advance > s.health_cfg.Health.stall_ms then
+            s.stalls_rev <-
+              { stall_from = s.last_advance; stall_until = Some e.time }
+              :: s.stalls_rev;
+          s.last_advance <- e.time
+        end
+    (* Event-stream filter: only decides advance the index. *)
+    | _ [@lint.allow "D4"] -> ());
+    let quorum =
+      match s.quorum_fixed with
+      | Some q -> q
+      | None -> ((1 + s.max_node) / 2) + 1
+    in
+    List.iter (note_decided s) (Span.Tracker.observe s.tracker ~quorum e);
+    Causal.Pairing.observe s.pairing e;
+    Causal.Clock_check.observe s.clocks e;
+    Ring.push s.recent e;
+    Health.observe s.health e;
+    Invariant.Monitor.observe s.invariants e
+
+  let commit_of s =
+    if s.n_decided = 0 then None
+    else begin
+      let p50, p90, p99 =
+        if s.n_decided <= s.exact_kept then begin
+          let totals = Array.of_list s.exact_totals in
+          Array.sort Float.compare totals;
+          (percentile totals 0.50, percentile totals 0.90,
+           percentile totals 0.99)
+        end
+        else
+          (* Past the exact store: log-bucket sketch percentiles (the mean
+             phase breakdown and the max stay exact). *)
+          ( Metric.Histogram.percentile s.sketch ~p:50.0,
+            Metric.Histogram.percentile s.sketch ~p:90.0,
+            Metric.Histogram.percentile s.sketch ~p:99.0 )
+      in
+      let mean sum = function 0 -> 0.0 | n -> sum /. float_of_int n in
+      Some
+        {
+          spans_total = Span.Tracker.total_spans s.tracker;
+          spans_decided = s.n_decided;
+          p50;
+          p90;
+          p99;
+          max_ms = s.max_total;
+          mean_queueing = mean s.sum_queueing s.n_queueing;
+          mean_replication = mean s.sum_replication s.n_replication;
+          mean_commit = mean s.sum_commit s.n_commit;
+        }
+    end
+
+  let finish ?(ring_dropped = 0) ?(ring_dropped_by_kind = []) ?(sampling = [])
+      s =
+    let t_start = Option.value s.t_start ~default:0.0 in
+    let t_end = match s.t_start with None -> 0.0 | Some _ -> s.t_end in
+    let stalls =
+      List.rev
+        (if t_end -. s.last_advance > s.health_cfg.Health.stall_ms then
+           { stall_from = s.last_advance; stall_until = None }
+           :: s.stalls_rev
+         else s.stalls_rev)
+    in
+    let events_arr = Array.of_list (Ring.to_list s.recent) in
+    let critical_paths =
+      List.filter_map
+        (fun (total, log_idx) ->
+          critical_path_of ~max_hops:16 events_arr ~log_idx ~total)
+        s.top
+    in
+    {
+      n = 1 + s.max_node;
+      events = s.seen;
+      ring_dropped;
+      ring_dropped_by_kind;
+      sampling;
+      t_start;
+      t_end;
+      by_kind =
+        Replog.Det.sorted_bindings ~compare_key:String.compare s.kinds;
+      drops_by_reason =
+        Replog.Det.sorted_bindings ~compare_key:String.compare s.drop_reasons;
+      leader_timeline =
+        List.map
+          (fun (node, l) -> (node, List.rev l))
+          (Replog.Det.sorted_bindings ~compare_key:Int.compare s.timeline);
+      stall_ms = s.health_cfg.Health.stall_ms;
+      stalls;
+      commit = commit_of s;
+      causal_edges = Causal.Pairing.edges s.pairing;
+      unmatched_sends = Causal.Pairing.unmatched_sends s.pairing;
+      orphan_delivers = Causal.Pairing.orphan_delivers s.pairing;
+      lamport = Causal.Clock_check.result s.clocks;
+      critical_paths;
+      health_alerts = Health.alerts s.health;
+      recoveries = Health.recoveries s.health;
+      invariants = Invariant.Monitor.results s.invariants;
+    }
+end
+
+let run ?health ?(ring_dropped = 0) ?(ring_dropped_by_kind = [])
+    ?(sampling = []) events =
+  let n =
+    1 + List.fold_left (fun acc (e : Event.t) -> max acc e.node) 0 events
   in
-  let critical_paths =
-    List.filter_map
-      (fun (s, t) -> critical_path_of ~max_hops:16 events_arr s t)
-      (take 3 slowest)
+  (* The bounds lifted: whole-trace critical-path window, exact percentiles,
+     uncapped causal tables — the report equals the historical whole-list
+     analyzer's byte for byte. *)
+  let s =
+    Stream.create ?health ~n_hint:n
+      ~window:(max 1 (List.length events))
+      ~exact_limit:max_int ~causal_cap:max_int ()
   in
-  let monitor = Health.run health_cfg events in
-  {
-    n;
-    events = List.length events;
-    ring_dropped;
-    t_start;
-    t_end;
-    by_kind = Replog.Det.sorted_bindings ~compare_key:String.compare kinds;
-    drops_by_reason =
-      Replog.Det.sorted_bindings ~compare_key:String.compare drop_reasons;
-    leader_timeline =
-      List.map
-        (fun (node, l) -> (node, List.rev l))
-        (Replog.Det.sorted_bindings ~compare_key:Int.compare timeline);
-    stall_ms = health_cfg.Health.stall_ms;
-    stalls =
-      stall_windows ~stall_ms:health_cfg.Health.stall_ms ~t_start ~t_end
-        events;
-    commit = commit_stats spans;
-    causal_edges = causal_stats.Causal.edges;
-    unmatched_sends = causal_stats.Causal.unmatched_sends;
-    orphan_delivers = causal_stats.Causal.orphan_delivers;
-    lamport = Causal.lamport_consistent events;
-    critical_paths;
-    health_alerts = Health.alerts monitor;
-    recoveries = Health.recoveries monitor;
-    invariants = Invariant.check_all events;
-  }
+  List.iter (Stream.observe s) events;
+  Stream.finish ~ring_dropped ~ring_dropped_by_kind ~sampling s
+
+let prefix_error file = Result.map_error (Printf.sprintf "%s:%s" file)
+
+let with_source file f =
+  match open_in_bin file with
+  | exception Sys_error msg -> Error (`Open msg)
+  | ic ->
+      let r =
+        match f (Tracebin.of_channel ic) with
+        | v -> Result.map_error (fun m -> `Parse m) v
+        | exception Tracebin.Decode_error msg -> Error (`Parse msg)
+      in
+      close_in_noerr ic;
+      r
 
 let of_file ?health file =
-  match open_in file with
-  | exception Sys_error msg -> Error msg
-  | ic ->
-      let rec read_lines lineno acc =
-        match input_line ic with
-        | exception End_of_file -> Ok (List.rev acc)
-        | "" -> read_lines (lineno + 1) acc
-        | line -> (
-            match Event.of_json line with
-            | Ok e -> read_lines (lineno + 1) (e :: acc)
-            | Error msg ->
-                Error (Printf.sprintf "%s:%d: %s" file lineno msg))
+  (* Two passes: the first infers the cluster size (and pulls the sampling
+     rates out of a binary header) so quorum and the health suspect matrix
+     are exact; the second streams the events through the analyzer. Memory
+     stays bounded on both. *)
+  let pass1 =
+    with_source file (fun src ->
+        let n_max = ref 0 in
+        match
+          Tracebin.iter src (fun e ->
+              if e.Event.node > !n_max then n_max := e.Event.node)
+        with
+        | Ok () -> Ok (1 + !n_max, Tracebin.meta src)
+        | Error msg -> Error msg)
+  in
+  match pass1 with
+  | Error (`Open msg) -> Error msg
+  | Error (`Parse msg) -> prefix_error file (Error msg)
+  | Ok (n, meta) -> (
+      let pass2 =
+        with_source file (fun src ->
+            let s = Stream.create ?health ~n_hint:n () in
+            match Tracebin.iter src (Stream.observe s) with
+            | Ok () ->
+                Ok
+                  (Stream.finish ~sampling:(Sampling.rates_of_meta meta) s)
+            | Error msg -> Error msg)
       in
-      let result = read_lines 1 [] in
-      close_in ic;
-      Result.map (fun events -> run ?health events) result
+      match pass2 with
+      | Error (`Open msg) -> Error msg
+      | Error (`Parse msg) -> prefix_error file (Error msg)
+      | Ok report -> Ok report)
+
+let of_channel ?health ic =
+  match
+    let src = Tracebin.of_channel ic in
+    let s = Stream.create ?health () in
+    match Tracebin.iter src (Stream.observe s) with
+    | Ok () ->
+        Ok
+          (Stream.finish
+             ~sampling:(Sampling.rates_of_meta (Tracebin.meta src))
+             s)
+    | Error msg -> Error msg
+  with
+  | v -> v
+  | exception Tracebin.Decode_error msg -> Error msg
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)
@@ -315,8 +485,17 @@ let pp ppf r =
   line "nodes      : %d@." r.n;
   line "events     : %d (ring-dropped %d)@." r.events r.ring_dropped;
   line "time range : %a .. %a ms@." pp_ms r.t_start pp_ms r.t_end;
+  if not (List.is_empty r.sampling) then begin
+    line "@.-- sampling (emit-time, kept 1 in k) --@.";
+    List.iter (fun (k, rate) -> line "  %-16s 1/%d@." k rate) r.sampling;
+    line "  counts below are post-sampling for these kinds@."
+  end;
   line "@.-- events by kind --@.";
   List.iter (fun (k, c) -> line "  %-16s %d@." k c) r.by_kind;
+  if not (List.is_empty r.ring_dropped_by_kind) then begin
+    line "@.-- ring drops by kind --@.";
+    List.iter (fun (k, c) -> line "  %-16s %d@." k c) r.ring_dropped_by_kind
+  end;
   if not (List.is_empty r.drops_by_reason) then begin
     line "@.-- drops by reason --@.";
     List.iter (fun (k, c) -> line "  %-16s %d@." k c) r.drops_by_reason
@@ -411,10 +590,15 @@ let json_opt f = function Some v -> f v | None -> J.Null
 let to_json r =
   J.Obj
     [
-      ("schema_version", J.Int 1);
+      ("schema_version", J.Int 2);
       ("n", J.Int r.n);
       ("events", J.Int r.events);
       ("ring_dropped", J.Int r.ring_dropped);
+      ( "ring_dropped_by_kind",
+        J.Obj
+          (List.map (fun (k, c) -> (k, J.Int c)) r.ring_dropped_by_kind) );
+      ( "sampling",
+        J.Obj (List.map (fun (k, rate) -> (k, J.Int rate)) r.sampling) );
       ("t_start_ms", J.float r.t_start);
       ("t_end_ms", J.float r.t_end);
       ( "by_kind",

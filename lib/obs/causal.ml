@@ -57,6 +57,146 @@ let pair events =
   in
   (List.rev !edges_rev, stats)
 
+(* Streaming pairing: the analyzer's report only needs the edge/unmatched/
+   orphan counts, so the incremental form keeps just the open-send table.
+   The table is capped: when full, the oldest open send is evicted and
+   counted as unmatched — in a healthy run a send is matched within one
+   network delay, so the live set is O(messages in flight), and the cap only
+   bites on pathological traces. Eviction order comes from a FIFO queue of
+   send ids with lazy deletion (matched ids still sit in the queue and are
+   skipped when popped). With [cap = max_int] the counts are identical to
+   {!pair}'s. *)
+module Pairing = struct
+  type t = {
+    sends : (int, float) Hashtbl.t;  (* send_id -> sent_at *)
+    order : int Queue.t;  (* insertion order, lazily pruned *)
+    cap : int;
+    mutable edges : int;
+    mutable orphans : int;
+    mutable evicted : int;
+  }
+
+  let create ?(cap = max_int) () =
+    if cap <= 0 then invalid_arg "Causal.Pairing.create: cap must be positive";
+    {
+      sends = Hashtbl.create 1024;
+      order = Queue.create ();
+      cap;
+      edges = 0;
+      orphans = 0;
+      evicted = 0;
+    }
+
+  let rec evict_one t =
+    match Queue.take_opt t.order with
+    | None -> ()
+    | Some id ->
+        if Hashtbl.mem t.sends id then begin
+          Hashtbl.remove t.sends id;
+          t.evicted <- t.evicted + 1
+        end
+        else evict_one t (* stale queue entry: already matched *)
+
+  let observe t (e : Event.t) =
+    match e.kind with
+    | Event.Msg_send { send_id; _ } ->
+        if
+          Hashtbl.length t.sends >= t.cap && not (Hashtbl.mem t.sends send_id)
+        then evict_one t;
+        Hashtbl.replace t.sends send_id e.time;
+        Queue.push send_id t.order
+    | Event.Msg_deliver { send_id; _ } -> (
+        match Hashtbl.find_opt t.sends send_id with
+        | Some _ ->
+            Hashtbl.remove t.sends send_id;
+            t.edges <- t.edges + 1
+        | None -> t.orphans <- t.orphans + 1)
+    (* Event-stream filter: only message events carry causal stamps. *)
+    | _ [@lint.allow "D4"] -> ()
+
+  let edges t = t.edges
+
+  let unmatched_sends t = Hashtbl.length t.sends + t.evicted
+  (* Open sends still live plus those evicted by the cap — both were sent
+     and never seen delivered. *)
+
+  let orphan_delivers t = t.orphans
+  let stats t = { edges = t.edges; unmatched_sends = unmatched_sends t;
+                  orphan_delivers = t.orphans }
+end
+
+(* Streaming Lamport check: same rules as [lamport_consistent], latched on
+   the first violation. The open-send clock table shares the capped-FIFO
+   shape of [Pairing] — an evicted send makes its (late) delivery check a
+   no-op, which only weakens detection, never fabricates a violation. *)
+module Clock_check = struct
+  type t = {
+    sends : (int, int) Hashtbl.t;  (* send_id -> lamport clock at send *)
+    order : int Queue.t;
+    cap : int;
+    last_lc : (int, int) Hashtbl.t;  (* node -> last message clock *)
+    mutable error : string option;  (* first violation wins *)
+  }
+
+  let create ?(cap = max_int) () =
+    if cap <= 0 then
+      invalid_arg "Causal.Clock_check.create: cap must be positive";
+    {
+      sends = Hashtbl.create 1024;
+      order = Queue.create ();
+      cap;
+      last_lc = Hashtbl.create 16;
+      error = None;
+    }
+
+  let rec evict_one t =
+    match Queue.take_opt t.order with
+    | None -> ()
+    | Some id ->
+        if Hashtbl.mem t.sends id then Hashtbl.remove t.sends id
+        else evict_one t
+
+  let check_node_order t (e : Event.t) lc =
+    (match Hashtbl.find_opt t.last_lc e.node with
+    | Some prev when lc <= prev ->
+        if Option.is_none t.error then
+          t.error <-
+            Some
+              (Printf.sprintf
+                 "node %d clock not increasing: %d then %d at t=%.3f" e.node
+                 prev lc e.time)
+    | Some _ | None -> ());
+    Hashtbl.replace t.last_lc e.node lc
+
+  let observe t (e : Event.t) =
+    if Option.is_none t.error then
+      match e.kind with
+      | Event.Msg_send { send_id; lc; _ } ->
+          if
+            Hashtbl.length t.sends >= t.cap
+            && not (Hashtbl.mem t.sends send_id)
+          then evict_one t;
+          Hashtbl.replace t.sends send_id lc;
+          Queue.push send_id t.order;
+          check_node_order t e lc
+      | Event.Msg_deliver { send_id; lc; _ } -> (
+          (match Hashtbl.find_opt t.sends send_id with
+          | Some slc when lc <= slc ->
+              t.error <-
+                Some
+                  (Printf.sprintf
+                     "deliver #%d at node %d has lc %d <= send lc %d" send_id
+                     e.node lc slc)
+          | Some _ | None -> ());
+          match t.error with
+          | Some _ -> ()
+          | None -> check_node_order t e lc)
+      (* Event-stream filter: only message events carry clocks. *)
+      | _ [@lint.allow "D4"] -> ()
+
+  let result t = match t.error with None -> Ok () | Some m -> Error m
+end
+
 (* Lamport consistency: each delivery's clock exceeds its send's clock, and
    each node's message clocks are strictly increasing in stream order. A
    violation means the stamping in simnet (or a hand-edited trace) broke the

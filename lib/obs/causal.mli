@@ -26,6 +26,39 @@ val pair : Event.t list -> edge list * stats
 (** Pair [Msg_send]/[Msg_deliver] events by send id. Edges are returned in
     delivery order. *)
 
+(** Streaming (send, deliver) pairing with bounded memory: only the open
+    sends are live, and their table is capped — when full, the oldest open
+    send is evicted and counted as unmatched. With [cap = max_int] the
+    counts equal {!pair}'s exactly. *)
+module Pairing : sig
+  type t
+
+  val create : ?cap:int -> unit -> t
+  (** [cap] bounds the open-send table (default unbounded). Raises
+      [Invalid_argument] if [cap <= 0]. *)
+
+  val observe : t -> Event.t -> unit
+  val edges : t -> int
+  val unmatched_sends : t -> int
+  (** Open sends still live plus sends evicted by the cap. *)
+
+  val orphan_delivers : t -> int
+  val stats : t -> stats
+end
+
+(** Streaming Lamport-clock check, latched on the first violation. Error
+    strings match {!lamport_consistent}. The open-send clock table is
+    capped like {!Pairing}'s; eviction can only weaken detection (a late
+    delivery of an evicted send goes unchecked), never fabricate a
+    violation. *)
+module Clock_check : sig
+  type t
+
+  val create : ?cap:int -> unit -> t
+  val observe : t -> Event.t -> unit
+  val result : t -> (unit, string) result
+end
+
 val lamport_consistent : Event.t list -> (unit, string) result
 (** Check that every delivery's Lamport clock exceeds its send's, and that
     each node's message clocks strictly increase in stream order. *)

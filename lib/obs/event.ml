@@ -71,6 +71,73 @@ let kind_name = function
   | Chaos_response _ -> "chaos_response"
   | Chaos_timeout _ -> "chaos_timeout"
 
+(* Stable numeric tag per constructor, in declaration order. The binary
+   codec (Tracebin) and the sampler index per-kind state by this tag; a new
+   constructor must be appended (never renumbered) so old binary traces
+   keep decoding. *)
+let kind_tag = function
+  | Ballot_increment _ -> 0
+  | Leader_elected _ -> 1
+  | Leader_changed _ -> 2
+  | Prepare_round _ -> 3
+  | Promise_sent _ -> 4
+  | Accept_sent _ -> 5
+  | Accepted_idx _ -> 6
+  | Decided _ -> 7
+  | Proposed _ -> 8
+  | Batch_flush _ -> 9
+  | Cap_change _ -> 10
+  | Session_drop _ -> 11
+  | Session_up _ -> 12
+  | Link_cut _ -> 13
+  | Link_heal _ -> 14
+  | Crashed -> 15
+  | Recovered -> 16
+  | Reconfig _ -> 17
+  | Msg_send _ -> 18
+  | Msg_deliver _ -> 19
+  | Msg_drop _ -> 20
+  | Snapshot_taken _ -> 21
+  | Snapshot_installed _ -> 22
+  | Log_trimmed _ -> 23
+  | Chaos_fault _ -> 24
+  | Chaos_invoke _ -> 25
+  | Chaos_response _ -> 26
+  | Chaos_timeout _ -> 27
+
+let num_kinds = 28
+
+let tag_name = function
+  | 0 -> "ballot_increment"
+  | 1 -> "leader_elected"
+  | 2 -> "leader_changed"
+  | 3 -> "prepare"
+  | 4 -> "promise"
+  | 5 -> "accept"
+  | 6 -> "accepted"
+  | 7 -> "decide"
+  | 8 -> "proposed"
+  | 9 -> "batch_flush"
+  | 10 -> "cap_change"
+  | 11 -> "session_drop"
+  | 12 -> "session_up"
+  | 13 -> "link_cut"
+  | 14 -> "link_heal"
+  | 15 -> "crash"
+  | 16 -> "recover"
+  | 17 -> "reconfig"
+  | 18 -> "send"
+  | 19 -> "deliver"
+  | 20 -> "drop"
+  | 21 -> "snapshot_taken"
+  | 22 -> "snapshot_installed"
+  | 23 -> "log_trimmed"
+  | 24 -> "chaos_fault"
+  | 25 -> "chaos_invoke"
+  | 26 -> "chaos_response"
+  | 27 -> "chaos_timeout"
+  | t -> invalid_arg (Printf.sprintf "Event.tag_name: unknown tag %d" t)
+
 let pp_ballot ppf b =
   Format.fprintf ppf "(n=%d,prio=%d,pid=%d)" b.n b.prio b.pid
 

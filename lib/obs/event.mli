@@ -89,6 +89,18 @@ type t = {
 
 val kind_name : kind -> string
 
+val kind_tag : kind -> int
+(** Stable numeric tag per constructor (declaration order, [0 ..
+    num_kinds - 1]). The binary codec and the sampler index per-kind state
+    by this tag; new constructors are appended, never renumbered, so old
+    binary traces keep decoding. *)
+
+val num_kinds : int
+
+val tag_name : int -> string
+(** [kind_name] of the constructor with that {!kind_tag}. Raises
+    [Invalid_argument] on an unknown tag. *)
+
 val to_json : t -> string
 (** One JSON object, no trailing newline. *)
 

@@ -1,7 +1,9 @@
 (* Trace-driven invariant checkers. They consume the event stream a run
    recorded (in timestamp order, as the sinks received it) and either pass or
    return the first violation. Tests assert them over scenario runs; `opx
-   trace` reports them over whole replays. *)
+   trace` reports them over whole replays. Each checker is a per-event core
+   over small mutable state, so the batch functions and the streaming
+   {!Monitor} share one implementation (and produce identical messages). *)
 
 type violation = { at : float; node : int; message : string }
 
@@ -15,78 +17,82 @@ let ballot_str (b : Event.ballot) =
    given ballot, and only the server the ballot belongs to. Two servers
    driving the same ballot is exactly the split-brain Sequence Paxos'
    SC-invariants rule out. *)
+let check_ballot owners (e : Event.t) (b : Event.ballot) =
+  if b.Event.pid <> e.node then
+    Some
+      {
+        at = e.time;
+        node = e.node;
+        message =
+          Printf.sprintf
+            "node %d acted as leader with ballot %s owned by node %d" e.node
+            (ballot_str b) b.Event.pid;
+      }
+  else
+    match Hashtbl.find_opt owners b with
+    | Some owner when owner <> e.node ->
+        Some
+          {
+            at = e.time;
+            node = e.node;
+            message =
+              Printf.sprintf "two leaders for ballot %s: nodes %d and %d"
+                (ballot_str b) owner e.node;
+          }
+    | Some _ -> None
+    | None ->
+        Hashtbl.add owners b e.node;
+        None
+
+let leader_check owners (e : Event.t) =
+  match e.kind with
+  | Event.Prepare_round { b; _ } | Event.Accept_sent { b; _ } ->
+      check_ballot owners e b
+  (* Event-stream filter: a new event kind cannot weaken this invariant, it
+     is simply not leadership-relevant. *)
+  | _ [@lint.allow "D4"] -> None
+
 let single_leader_per_ballot events =
   let owners : (Event.ballot, int) Hashtbl.t = Hashtbl.create 64 in
-  let check (e : Event.t) b =
-    if b.Event.pid <> e.node then
-      Some
-        {
-          at = e.time;
-          node = e.node;
-          message =
-            Printf.sprintf
-              "node %d acted as leader with ballot %s owned by node %d"
-              e.node (ballot_str b) b.Event.pid;
-        }
-    else
-      match Hashtbl.find_opt owners b with
-      | Some owner when owner <> e.node ->
+  let rec scan = function
+    | [] -> Ok ()
+    | e :: rest -> (
+        match leader_check owners e with
+        | None -> scan rest
+        | Some v -> Error v)
+  in
+  scan events
+
+(* Each server's decided index never moves backwards. Stable storage keeps
+   the decided prefix across crashes, so this holds across recoveries too. *)
+let decided_check last (e : Event.t) =
+  match e.kind with
+  | Event.Decided { decided_idx; _ } -> (
+      match Hashtbl.find_opt last e.node with
+      | Some (at, prev) when decided_idx < prev ->
           Some
             {
               at = e.time;
               node = e.node;
               message =
                 Printf.sprintf
-                  "two leaders for ballot %s: nodes %d and %d" (ballot_str b)
-                  owner e.node;
+                  "decided index went backwards: %d (t=%.3f) -> %d" prev at
+                  decided_idx;
             }
-      | Some _ -> None
-      | None ->
-          Hashtbl.add owners b e.node;
-          None
-  in
-  let rec scan = function
-    | [] -> Ok ()
-    | (e : Event.t) :: rest -> (
-        let b =
-          match e.kind with
-          | Event.Prepare_round { b; _ } | Event.Accept_sent { b; _ } ->
-              Some b
-          (* Event-stream filter: a new event kind cannot weaken this
-             invariant, it is simply not leadership-relevant. *)
-          | _ [@lint.allow "D4"] -> None
-        in
-        match b with
-        | None -> scan rest
-        | Some b -> ( match check e b with None -> scan rest | Some v -> Error v))
-  in
-  scan events
+      | _ ->
+          Hashtbl.replace last e.node (e.time, decided_idx);
+          None)
+  (* Event-stream filter: only [Decided] moves the decided index. *)
+  | _ [@lint.allow "D4"] -> None
 
-(* Each server's decided index never moves backwards. Stable storage keeps
-   the decided prefix across crashes, so this holds across recoveries too. *)
 let decided_prefix_monotonic events =
   let last : (int, float * int) Hashtbl.t = Hashtbl.create 16 in
   let rec scan = function
     | [] -> Ok ()
-    | (e : Event.t) :: rest -> (
-        match e.kind with
-        | Event.Decided { decided_idx; _ } -> (
-            match Hashtbl.find_opt last e.node with
-            | Some (at, prev) when decided_idx < prev ->
-                Error
-                  {
-                    at = e.time;
-                    node = e.node;
-                    message =
-                      Printf.sprintf
-                        "decided index went backwards: %d (t=%.3f) -> %d"
-                        prev at decided_idx;
-                  }
-            | _ ->
-                Hashtbl.replace last e.node (e.time, decided_idx);
-                scan rest)
-        (* Event-stream filter: only [Decided] moves the decided index. *)
-        | _ [@lint.allow "D4"] -> scan rest)
+    | e :: rest -> (
+        match decided_check last e with
+        | None -> scan rest
+        | Some v -> Error v)
   in
   scan events
 
@@ -97,3 +103,36 @@ let all =
   ]
 
 let check_all events = List.map (fun (name, f) -> (name, f events)) all
+
+(* Streaming form: feed events one at a time; each invariant latches its
+   first violation (matching the batch functions' early return — state stops
+   updating once latched). Memory is O(distinct ballots + nodes). *)
+module Monitor = struct
+  type t = {
+    owners : (Event.ballot, int) Hashtbl.t;
+    last : (int, float * int) Hashtbl.t;
+    mutable leader_err : violation option;
+    mutable decided_err : violation option;
+  }
+
+  let create () =
+    {
+      owners = Hashtbl.create 64;
+      last = Hashtbl.create 16;
+      leader_err = None;
+      decided_err = None;
+    }
+
+  let observe t e =
+    if Option.is_none t.leader_err then t.leader_err <- leader_check t.owners e;
+    if Option.is_none t.decided_err then
+      t.decided_err <- decided_check t.last e
+
+  let to_result = function None -> Ok () | Some v -> Error v
+
+  let results t =
+    [
+      ("single-leader-per-ballot", to_result t.leader_err);
+      ("decided-prefix-monotonic", to_result t.decided_err);
+    ]
+end

@@ -16,3 +16,15 @@ val decided_prefix_monotonic : Event.t list -> (unit, violation) result
 
 val check_all : Event.t list -> (string * (unit, violation) result) list
 (** Run every checker; returns (name, result) pairs. *)
+
+(** Streaming form of {!check_all}: feed events one at a time; each
+    invariant latches its first violation. Memory is O(distinct ballots +
+    nodes). [results] pairs appear in {!check_all}'s order with identical
+    messages. *)
+module Monitor : sig
+  type t
+
+  val create : unit -> t
+  val observe : t -> Event.t -> unit
+  val results : t -> (string * (unit, violation) result) list
+end

@@ -22,6 +22,13 @@ let push t x =
   if t.count < Array.length t.buf then t.count <- t.count + 1
   else t.dropped <- t.dropped + 1
 
+let push_evict t x =
+  let evicted =
+    if t.count = Array.length t.buf then t.buf.(t.next) else None
+  in
+  push t x;
+  evicted
+
 let clear t =
   Array.fill t.buf 0 (Array.length t.buf) None;
   t.next <- 0;

@@ -16,6 +16,12 @@ val dropped : 'a t -> int
     non-zero means the oldest [dropped] elements are gone. *)
 
 val push : 'a t -> 'a -> unit
+
+val push_evict : 'a t -> 'a -> 'a option
+(** Like {!push}, but returns the element overwritten by this push (if the
+    ring was full) so callers can account for what was lost — e.g. the
+    per-kind overflow breakdown in trace recordings. *)
+
 val clear : 'a t -> unit
 
 val iter : 'a t -> ('a -> unit) -> unit

@@ -1,0 +1,42 @@
+(** Adaptive per-kind trace sampling, applied at emit time (see
+    {!Trace.set_sampling}).
+
+    Deterministic and RNG-free. Sampleable kinds — the high-volume data
+    path: [proposed], [accepted], [batch_flush], [send], [deliver] — keep
+    their first [head] occurrences and then 1 in [rate]; message
+    send/deliver pairs are decided by [send_id mod rate] instead, so a
+    kept send always keeps its matching deliver and the causal DAG stays
+    pairable. Faults, elections, reconfiguration milestones, drops and
+    invariant inputs ([prepare], [accept], [decide], ...) are never
+    sampled.
+
+    The effective rates travel in the binary trace header (see
+    {!to_meta} / {!rates_of_meta}), so the analyzer can scale-correct its
+    counts. *)
+
+type policy = { head : int; rate : int }
+(** Keep the first [head] occurrences, then 1 in [rate].
+    [rate = 1] keeps everything. *)
+
+type t
+
+val create : ?head:int -> rate:int -> unit -> t
+(** Uniform policy over the sampleable kinds; [head] defaults to 1000.
+    Raises [Invalid_argument] if [rate < 1]. *)
+
+val of_policies : (string * policy) list -> t
+(** Per kind-name policies (names as in {!Event.kind_name}); unlisted
+    kinds are always kept. Raises [Invalid_argument] on an unknown name. *)
+
+val keep : t -> Event.kind -> bool
+(** Decide one event. Stateful (advances per-kind counters) but
+    deterministic: the same event sequence always keeps the same subset. *)
+
+val rates : t -> (string * int) list
+(** Kinds actually sampled (rate > 1), in tag order. *)
+
+val to_meta : t -> (string * string) list
+(** {!rates} as trace-header metadata pairs ([("sample.<kind>", "<rate>")]). *)
+
+val rates_of_meta : (string * string) list -> (string * int) list
+(** Parse {!to_meta} pairs back out of a trace header. *)

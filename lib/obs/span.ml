@@ -54,6 +54,120 @@ let commit s =
   | Some q, Some d -> Some (d -. q)
   | _, _ -> None
 
+(* ------------------------------------------------------------------ *)
+(* Streaming tracker: O(active spans) memory                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The batch [assemble] keeps every span until the end of the trace. The
+   tracker instead finalises a span the moment the decided watermark passes
+   its index and hands it back to the caller, so its live state is only the
+   in-flight pipeline window (plus per-node ack watermarks). Decided spans
+   come out in ascending log-index order — the same order the batch
+   analyzer folds them in — so streaming aggregates (sums, percentiles)
+   match the batch results exactly. *)
+
+module Tracker = struct
+  type closed = {
+    c_log_idx : int;
+    c_total : float;
+    c_queueing : float option;
+    c_replication : float option;
+    c_commit : float option;
+  }
+
+  type t = {
+    spans : (int, building) Hashtbl.t;
+    acked : (int, int) Hashtbl.t;
+    mutable decided_upto : int;
+    mutable finalized : int;
+  }
+
+  let create () =
+    {
+      spans = Hashtbl.create 256;
+      acked = Hashtbl.create 16;
+      decided_upto = 0;
+      finalized = 0;
+    }
+
+  let active t = Hashtbl.length t.spans
+  let total_spans t = t.finalized + Hashtbl.length t.spans
+  let decided_spans t = t.finalized
+
+  (* [observe t ~quorum e] feeds one event; returns the spans this event
+     finalised (decided), in ascending log-index order. [quorum] is the
+     cluster quorum size — pass a constant when the cluster size is known
+     up front (the batch path), or a running value for single-pass use. *)
+  let observe t ~quorum (e : Event.t) : closed list =
+    match e.kind with
+    | Event.Proposed { log_idx; cmd_id } ->
+        Hashtbl.replace t.spans log_idx
+          {
+            b_log_idx = log_idx;
+            b_cmd_id = cmd_id;
+            b_leader = e.node;
+            b_proposed_at = e.time;
+            b_acks = 0;
+            b_first_accept_at = None;
+            b_quorum_ack_at = None;
+            b_decided_at = None;
+          };
+        []
+    | Event.Accept_sent { start_idx; count; _ } ->
+        for i = start_idx to start_idx + count - 1 do
+          match Hashtbl.find_opt t.spans i with
+          | Some s
+            when s.b_leader = e.node && Option.is_none s.b_first_accept_at ->
+              s.b_first_accept_at <- Some e.time
+          | Some _ | None -> ()
+        done;
+        []
+    | Event.Accepted_idx { log_idx = la; _ } ->
+        let prev = Option.value (Hashtbl.find_opt t.acked e.node) ~default:0 in
+        Hashtbl.replace t.acked e.node la;
+        if la > prev then
+          for i = prev to la - 1 do
+            match Hashtbl.find_opt t.spans i with
+            | Some s when e.node <> s.b_leader ->
+                s.b_acks <- s.b_acks + 1;
+                if s.b_acks >= quorum - 1 && Option.is_none s.b_quorum_ack_at
+                then s.b_quorum_ack_at <- Some e.time
+            | Some _ | None -> ()
+          done;
+        []
+    | Event.Decided { decided_idx = d; _ } ->
+        if d <= t.decided_upto then []
+        else begin
+          let closed = ref [] in
+          for i = d - 1 downto t.decided_upto do
+            match Hashtbl.find_opt t.spans i with
+            | Some s ->
+                Hashtbl.remove t.spans i;
+                t.finalized <- t.finalized + 1;
+                let q = s.b_quorum_ack_at in
+                let a = s.b_first_accept_at in
+                closed :=
+                  {
+                    c_log_idx = i;
+                    c_total = e.time -. s.b_proposed_at;
+                    c_queueing =
+                      Option.map (fun at -> at -. s.b_proposed_at) a;
+                    c_replication =
+                      (match (a, q) with
+                      | Some a, Some q -> Some (q -. a)
+                      | _, _ -> None);
+                    c_commit = Option.map (fun q -> e.time -. q) q;
+                  }
+                  :: !closed
+            | None -> ()
+          done;
+          t.decided_upto <- d;
+          !closed
+        end
+    (* Event-stream filter: other kinds do not shape proposal spans. *)
+    | _ [@lint.allow "D4"] -> []
+end
+
 let assemble ~n events =
   let quorum = (n / 2) + 1 in
   let spans : (int, building) Hashtbl.t = Hashtbl.create 256 in

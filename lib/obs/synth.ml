@@ -1,0 +1,155 @@
+(* Deterministic synthetic trace generator for scale testing. Emits an
+   open-loop replication workload — proposal/accept/ack/decide pipelines
+   with periodic batching, faults, elections-in-place and compaction
+   milestones — shaped like a real simnet trace: timestamps are integer
+   microseconds (the codec's precision), Lamport clocks obey the standard
+   merge rule, send ids pair up, Accepted_idx carries watermarks and
+   ballots only ever belong to node 0, so every analyzer invariant holds.
+   A fixed (seed, nodes, events) triple always produces the identical
+   stream, so benches and tests over synthetic traces are reproducible. *)
+
+exception Stop
+
+type state = {
+  nodes : int;
+  limit : int;
+  f : Event.t -> unit;
+  mutable rng : int;
+  mutable t_us : int;
+  mutable emitted : int;
+  lc : int array;
+  mutable send_seq : int;
+  mutable session : int;
+  mutable round : int;  (* current ballot number, owned by node 0 *)
+  mutable elections : int;
+}
+
+let rand st bound =
+  st.rng <- ((st.rng * 25214903917) + 11) land 0x3FFFFFFFFFFFFFFF;
+  (st.rng lsr 17) mod bound
+
+let emit st ~node kind =
+  if st.emitted >= st.limit then raise Stop;
+  st.t_us <- st.t_us + 20 + rand st 60;
+  st.f { Event.time = float_of_int st.t_us /. 1000.0; node; kind };
+  st.emitted <- st.emitted + 1
+
+let ballot st = { Event.n = st.round; prio = 0; pid = 0 }
+
+(* One message hop with fresh send id and merged Lamport clocks. *)
+let message st ~src ~dst ~size =
+  st.send_seq <- st.send_seq + 1;
+  let id = st.send_seq in
+  st.lc.(src) <- st.lc.(src) + 1;
+  emit st ~node:src
+    (Event.Msg_send { dst; size; send_id = id; lc = st.lc.(src) });
+  st.lc.(dst) <- max st.lc.(dst) st.lc.(src) + 1;
+  emit st ~node:dst
+    (Event.Msg_deliver { src; size; send_id = id; lc = st.lc.(dst) })
+
+let replicate_entry st i =
+  let b = ballot st in
+  emit st ~node:0 (Event.Proposed { log_idx = i; cmd_id = i });
+  if i mod 8 = 7 then
+    emit st ~node:0
+      (Event.Batch_flush
+         {
+           entries = 8;
+           followers = st.nodes - 1;
+           cap = 64;
+           trigger = (if i mod 16 = 15 then "deadline" else "size");
+         });
+  emit st ~node:0 (Event.Accept_sent { b; start_idx = i; count = 1 });
+  for fl = 1 to st.nodes - 1 do
+    message st ~src:0 ~dst:fl ~size:(96 + rand st 64);
+    emit st ~node:fl (Event.Accepted_idx { b; log_idx = i + 1 });
+    message st ~src:fl ~dst:0 ~size:24
+  done;
+  for node = 0 to st.nodes - 1 do
+    emit st ~node (Event.Decided { b; decided_idx = i + 1 })
+  done
+
+(* A fault episode: cut a link, drop traffic, re-prepare in place (same
+   leader, higher ballot — keeping the single-leader-per-ballot invariant
+   trivially true), heal, and let compaction run. *)
+let fault_episode st i =
+  let victim = 1 + rand st (st.nodes - 1) in
+  emit st ~node:(-1)
+    (Event.Chaos_fault
+       { step = i; fault = Printf.sprintf "link_cut(0,%d)" victim });
+  emit st ~node:(-1) (Event.Link_cut { a = 0; b = victim });
+  emit st ~node:0 (Event.Session_drop { peer = victim; session = st.session });
+  emit st ~node:0
+    (Event.Msg_drop
+       {
+         src = 0;
+         dst = victim;
+         reason = "link-down";
+         session = st.session;
+         send_id = -1;
+       });
+  st.round <- st.round + 1;
+  st.elections <- st.elections + 1;
+  let b = ballot st in
+  emit st ~node:0 (Event.Ballot_increment b);
+  emit st ~node:0 (Event.Prepare_round { b; log_idx = i; decided_idx = i });
+  for fl = 1 to st.nodes - 1 do
+    if fl <> victim then
+      emit st ~node:fl
+        (Event.Promise_sent { b; log_idx = i; decided_idx = i })
+  done;
+  for node = 0 to st.nodes - 1 do
+    emit st ~node
+      (if st.elections = 1 then Event.Leader_elected b
+       else Event.Leader_changed b)
+  done;
+  emit st ~node:(-1) (Event.Link_heal { a = 0; b = victim });
+  st.session <- st.session + 1;
+  emit st ~node:0 (Event.Session_up { peer = victim; session = st.session });
+  if st.elections mod 3 = 0 then begin
+    emit st ~node:victim Event.Crashed;
+    emit st ~node:victim Event.Recovered;
+    emit st ~node:victim (Event.Snapshot_installed { idx = i; bytes = 40 * i })
+  end;
+  emit st ~node:1 (Event.Snapshot_taken { idx = i; bytes = 40 * i });
+  emit st ~node:1 (Event.Log_trimmed { upto = i; entries = 64 });
+  emit st ~node:0 (Event.Cap_change { cap_from = 64; cap_to = 32 });
+  emit st ~node:0 (Event.Cap_change { cap_from = 32; cap_to = 64 });
+  emit st ~node:0
+    (Event.Chaos_invoke { client = 0; op_id = i; op = "append" });
+  emit st ~node:0
+    (Event.Chaos_response { client = 0; op_id = i; result = "ok" })
+
+let iter ?(nodes = 3) ?(seed = 1) ~events f =
+  if nodes < 2 then invalid_arg "Synth.iter: need at least 2 nodes";
+  if events < 0 then invalid_arg "Synth.iter: negative event count";
+  let st =
+    {
+      nodes;
+      limit = events;
+      f;
+      rng = (seed * 2862933555777941757) + 3037000493;
+      t_us = 0;
+      emitted = 0;
+      lc = Array.make nodes 0;
+      send_seq = 0;
+      session = 1;
+      round = 1;
+      elections = 0;
+    }
+  in
+  match
+    let i = ref 0 in
+    while true do
+      replicate_entry st !i;
+      if !i mod 997 = 996 then fault_episode st !i;
+      incr i
+    done
+  with
+  | () -> ()
+  | exception Stop -> ()
+
+let to_list ?nodes ?seed ~events () =
+  let acc = ref [] in
+  iter ?nodes ?seed ~events (fun e -> acc := e :: !acc);
+  List.rev !acc

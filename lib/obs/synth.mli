@@ -1,0 +1,16 @@
+(** Deterministic synthetic trace generator for scale testing.
+
+    Emits an open-loop replication workload — proposal / accept / ack /
+    decide pipelines with periodic batching, fault episodes,
+    elections-in-place and compaction milestones — shaped like a real
+    simnet trace: integer-microsecond timestamps (the binary codec's
+    precision), merge-rule Lamport clocks, pairable send ids, watermark
+    [Accepted_idx] events and single-owner ballots, so every analyzer
+    invariant holds over the output. A fixed (seed, nodes, events) triple
+    always produces the identical stream. *)
+
+val iter : ?nodes:int -> ?seed:int -> events:int -> (Event.t -> unit) -> unit
+(** Generate exactly [events] events (truncating mid-pattern if needed) in
+    timestamp order. [nodes] defaults to 3 (minimum 2), [seed] to 1. *)
+
+val to_list : ?nodes:int -> ?seed:int -> events:int -> unit -> Event.t list

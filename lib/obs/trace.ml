@@ -6,7 +6,9 @@
    Cost model: every instrumentation site is guarded by [on ()], a single
    ref load and branch. [hot] is true only when tracing is both enabled and
    at least one sink is subscribed, so "enabled but unsubscribed" costs the
-   same as disabled — this is what bench/check_overhead.ml verifies. *)
+   same as disabled — this is what bench/check_overhead.ml verifies. The
+   sampler (when installed) runs inside the hot path only, after the guard,
+   so the disabled path is untouched. *)
 
 type sink = Event.t -> unit
 
@@ -15,7 +17,21 @@ let sinks : (int * sink) list ref = ref []
 let hot = ref false
 let next_id = ref 0
 let clock : (unit -> float) ref = ref (fun () -> 0.0)
-let refresh () = hot := !enabled && not (List.is_empty !sinks)
+let sampler : Sampling.t option ref = ref None
+let meta : (string * string) list ref = ref []
+
+(* The sink chain, precomposed at (un)subscribe time: the common case is a
+   single sink, and calling it directly keeps the per-event dispatch to
+   one indirect call instead of a list walk. *)
+let chain : sink ref = ref (fun _ -> ())
+
+let refresh () =
+  hot := !enabled && not (List.is_empty !sinks);
+  chain :=
+    match !sinks with
+    | [] -> fun _ -> ()
+    | [ (_, s) ] -> s
+    | l -> fun e -> List.iter (fun (_, s) -> s e) l
 
 let set_enabled b =
   enabled := b;
@@ -35,18 +51,33 @@ let unsubscribe id =
   refresh ()
 
 let set_clock f = clock := f
+let set_sampling s = sampler := s
+let sampling () = !sampler
+let set_run_meta m = meta := m
+let run_meta () = !meta
+
+let dispatch e =
+  (* Sink cost is attributed to [obs/sink] when a profile is open, so
+     "how much does tracing itself cost" shows up in attribution trees. *)
+  if Profile.on () then Profile.wrap "obs/sink" (fun () -> !chain e)
+  else !chain e
 
 let emit_at ~time ~node kind =
   if !hot then begin
-    let e = { Event.time; node; kind } in
-    (* Sink cost is attributed to [obs/sink] when a profile is open, so
-       "how much does tracing itself cost" shows up in attribution trees. *)
-    if Profile.on () then
-      Profile.wrap "obs/sink" (fun () -> List.iter (fun (_, s) -> s e) !sinks)
-    else List.iter (fun (_, s) -> s e) !sinks
+    match !sampler with
+    | Some s when not (Sampling.keep s kind) -> ()
+    | Some _ | None -> dispatch { Event.time; node; kind }
   end
 
-let emit ~node kind = if !hot then emit_at ~time:(!clock ()) ~node kind
+(* The sampling decision runs before the clock is read: on a sampled-out
+   event (the common case at high rates) the site pays only the guard,
+   the kind construction and the [keep] countdown. *)
+let emit ~node kind =
+  if !hot then begin
+    match !sampler with
+    | Some s when not (Sampling.keep s kind) -> ()
+    | Some _ | None -> dispatch { Event.time = !clock (); node; kind }
+  end
 
 let ring_sink ring : sink = fun e -> Ring.push ring e
 
@@ -55,11 +86,24 @@ let jsonl_sink oc : sink =
   output_string oc (Event.to_json e);
   output_char oc '\n'
 
-type recording = { events : Event.t list; dropped : int }
+type recording = {
+  events : Event.t list;
+  dropped : int;
+  dropped_by_kind : (string * int) list;
+}
 
 let with_recording ?(capacity = 1_000_000) f =
   let ring = Ring.create ~capacity in
-  let id = subscribe (ring_sink ring) in
+  let drops : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let sink e =
+    match Ring.push_evict ring e with
+    | None -> ()
+    | Some old ->
+        let k = Event.kind_name old.Event.kind in
+        Hashtbl.replace drops k
+          (1 + Option.value (Hashtbl.find_opt drops k) ~default:0)
+  in
+  let id = subscribe sink in
   let was = !enabled in
   set_enabled true;
   let finish () =
@@ -69,20 +113,28 @@ let with_recording ?(capacity = 1_000_000) f =
   match f () with
   | v ->
       finish ();
-      (v, { events = Ring.to_list ring; dropped = Ring.dropped ring })
+      ( v,
+        {
+          events = Ring.to_list ring;
+          dropped = Ring.dropped ring;
+          dropped_by_kind =
+            Replog.Det.sorted_bindings ~compare_key:String.compare drops;
+        } )
   | exception e ->
       finish ();
       raise e
 
-let with_jsonl ~file f =
-  let oc = open_out file in
-  let id = subscribe (jsonl_sink oc) in
+let header_meta () =
+  !meta @ match !sampler with None -> [] | Some s -> Sampling.to_meta s
+
+let with_sink ~make_sink ~close f =
+  let id = subscribe (make_sink ()) in
   let was = !enabled in
   set_enabled true;
   let finish () =
     unsubscribe id;
     set_enabled was;
-    close_out oc
+    close ()
   in
   match f () with
   | v ->
@@ -91,3 +143,34 @@ let with_jsonl ~file f =
   | exception e ->
       finish ();
       raise e
+
+let with_file ~file ~format f =
+  match (format : Tracebin.format) with
+  | Tracebin.Jsonl ->
+      let oc = open_out file in
+      with_sink ~make_sink:(fun () -> jsonl_sink oc) ~close:(fun () -> close_out oc) f
+  | Tracebin.Bin ->
+      let oc = open_out_bin file in
+      (* The writer (and thus the header) is created on the first event, so
+         run metadata installed by [Simnet.Net.create] inside [f] makes it
+         into the header of the run it describes. *)
+      let w : Tracebin.writer option ref = ref None in
+      let get_writer () =
+        match !w with
+        | Some writer -> writer
+        | None ->
+            let writer =
+              Tracebin.writer ~meta:(header_meta ()) (output_string oc)
+            in
+            w := Some writer;
+            writer
+      in
+      let close () =
+        Tracebin.flush (get_writer ());
+        close_out oc
+      in
+      with_sink
+        ~make_sink:(fun () -> fun e -> Tracebin.write (get_writer ()) e)
+        ~close f
+
+let with_jsonl ~file f = with_file ~file ~format:Tracebin.Jsonl f

@@ -29,6 +29,22 @@ val unsubscribe : int -> unit
 val set_clock : (unit -> float) -> unit
 (** Install the simulated clock used to stamp events emitted via {!emit}. *)
 
+val set_sampling : Sampling.t option -> unit
+(** Install (or clear, with [None]) an emit-time sampler. It runs inside
+    the hot path only — the disabled-path cost model is unchanged — and
+    drops events before any sink sees them. The effective rates are
+    recorded in binary trace headers (see {!with_file}); JSONL traces have
+    no header, so sampled JSONL traces carry no rate metadata. *)
+
+val sampling : unit -> Sampling.t option
+
+val set_run_meta : (string * string) list -> unit
+(** Install descriptive run metadata (seed, cluster size, ...) for binary
+    trace headers. [Simnet.Net.create] calls this with its parameters; the
+    most recent call before the first traced event wins. *)
+
+val run_meta : unit -> (string * string) list
+
 val emit : node:int -> Event.kind -> unit
 (** Emit an event stamped with the installed clock. No-op unless {!on}. *)
 
@@ -45,6 +61,10 @@ type recording = {
   dropped : int;
       (** events overwritten on ring overflow — non-zero means [events] is
           an incomplete (suffix-only) view of the run *)
+  dropped_by_kind : (string * int) list;
+      (** the overflow losses broken down per event kind (sorted by kind
+          name; empty when [dropped = 0]) — the input for choosing
+          per-kind sampling policies *)
 }
 
 val with_recording : ?capacity:int -> (unit -> 'a) -> 'a * recording
@@ -53,6 +73,11 @@ val with_recording : ?capacity:int -> (unit -> 'a) -> 'a * recording
     together with the recorded events and the overflow drop count, restoring
     the previous tracer state afterwards (also on exceptions). *)
 
+val with_file : file:string -> format:Tracebin.format -> (unit -> 'a) -> 'a
+(** Run with tracing enabled into a trace file of the given format,
+    restoring tracer state and closing the file afterwards. For
+    [Tracebin.Bin] the header records {!run_meta} and the sampler's rates
+    as of the first traced event. *)
+
 val with_jsonl : file:string -> (unit -> 'a) -> 'a
-(** Run with tracing enabled into a JSONL file, restoring tracer state and
-    closing the file afterwards. *)
+(** [with_file ~format:Tracebin.Jsonl]. *)

@@ -569,6 +569,7 @@ type traced_run = {
   tr_kind : scenario_kind;
   tr_events : Obs.Event.t list;
   tr_dropped : int;  (* ring-overflow losses during recording *)
+  tr_dropped_by_kind : (string * int) list;  (* the losses per event kind *)
   tr_downtime_ms : float;
   tr_decided : int;
 }
@@ -596,6 +597,7 @@ let traced_scenarios ?(pr = omni_runner) ?(seed = 1) ?(n = 5)
         tr_kind = kind;
         tr_events = recording.Obs.Trace.events;
         tr_dropped = recording.Obs.Trace.dropped;
+        tr_dropped_by_kind = recording.Obs.Trace.dropped_by_kind;
         tr_downtime_ms = downtime;
         tr_decided = decided;
       })

@@ -122,6 +122,14 @@ let create ?(seed = 42) ?(latency = 0.1) ?(egress_bw = infinity)
      The profiler samples the same clock for its sim-time column. *)
   Obs.Trace.set_clock (fun () -> t.clock);
   Obs.Profile.set_clock (fun () -> t.clock);
+  (* Binary trace headers record the run parameters of the simulation that
+     produced them (the writer snapshots this at its first event). *)
+  Obs.Trace.set_run_meta
+    [
+      ("nodes", string_of_int n);
+      ("seed", string_of_int seed);
+      ("latency_ms", Printf.sprintf "%g" latency);
+    ];
   t
 
 let now t = t.clock

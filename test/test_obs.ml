@@ -87,7 +87,7 @@ let test_sink_fanout () =
 
 let test_with_recording () =
   Trace.set_enabled false;
-  let v, { Trace.events; dropped } =
+  let v, { Trace.events; dropped; dropped_by_kind } =
     Trace.with_recording (fun () ->
         Trace.emit_at ~time:1.0 ~node:2
           (Event.Session_drop { peer = 0; session = 1 });
@@ -98,12 +98,13 @@ let test_with_recording () =
   check_int "returns the function's result" 17 v;
   check_int "recorded both events" 2 (List.length events);
   check_int "complete recording reports no drops" 0 dropped;
+  check "no drops means empty breakdown" true (dropped_by_kind = []);
   check "oldest first" true
     ((List.hd events).Event.kind = Event.Session_drop { peer = 0; session = 1 });
   check "tracer state restored" false (Trace.is_enabled ());
   (* The bounded ring drops the oldest events of an over-long run — and
      says so, instead of passing the truncation off as a complete trace. *)
-  let (), { Trace.events; dropped } =
+  let (), { Trace.events; dropped; dropped_by_kind } =
     Trace.with_recording ~capacity:3 (fun () ->
         for i = 1 to 5 do
           Trace.emit_at ~time:(float_of_int i) ~node:0 Event.Crashed
@@ -111,7 +112,9 @@ let test_with_recording () =
   in
   check "over-capacity run keeps the newest" true
     (List.map (fun (e : Event.t) -> e.time) events = [ 3.0; 4.0; 5.0 ]);
-  check_int "overflow is counted" 2 dropped
+  check_int "overflow is counted" 2 dropped;
+  check "overflow is attributed per kind" true
+    (dropped_by_kind = [ ("crash", 2) ])
 
 let test_event_json () =
   let b = { Event.n = 3; prio = 1; pid = 2 } in

@@ -199,7 +199,7 @@ let test_two_disconnected_qc_leaders () =
    across the leader takeover, no two servers ever drive Prepare/Accept under
    the same ballot, and no server's decided index regresses. *)
 let test_quorum_loss_trace_invariants () =
-  let (), { Obs.Trace.events; dropped = _ } =
+  let (), { Obs.Trace.events; dropped = _; dropped_by_kind = _ } =
     Obs.Trace.with_recording (fun () ->
         let c = make_cluster ~n:5 () in
         run_ms c 500.0;
